@@ -1,0 +1,69 @@
+// Shared helpers for the experiment binaries (E1–E10).
+//
+// Each experiment regenerates one quantitative claim of the paper as a
+// table: the header states the claim, the rows give paper-predicted vs
+// measured values. EXPERIMENTS.md records the outcomes.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "byz/fault_plan.h"
+#include "core/ftgcs_system.h"
+#include "metrics/skew_tracker.h"
+#include "metrics/table.h"
+#include "net/graph.h"
+
+namespace ftgcs::bench {
+
+inline void banner(const char* id, const char* claim) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", id, claim);
+  std::printf("==========================================================\n");
+}
+
+/// Builds a line system with a logical-offset ramp of `gap_rounds` rounds
+/// per cluster (the distributed-skew absorption scenario).
+inline core::FtGcsSystem::Config ramp_config(const core::Params& params,
+                                             int clusters, int gap_rounds,
+                                             std::uint64_t seed) {
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = seed;
+  for (int c = 0; c < clusters; ++c) {
+    config.cluster_round_offsets.push_back(c * gap_rounds);
+  }
+  return config;
+}
+
+struct RampOutcome {
+  double max_local = 0.0;        ///< max adjacent-cluster skew seen
+  double final_global = 0.0;     ///< remaining global skew at the horizon
+  double initial_global = 0.0;
+  std::uint64_t violations = 0;
+};
+
+/// Runs a ramp-absorption experiment on a line for `rounds` rounds.
+inline RampOutcome run_ramp(const core::Params& params, int clusters,
+                            int gap_rounds, double rounds,
+                            std::uint64_t seed,
+                            byz::FaultPlan fault_plan = {}) {
+  core::FtGcsSystem::Config config =
+      ramp_config(params, clusters, gap_rounds, seed);
+  config.fault_plan = std::move(fault_plan);
+  core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
+  metrics::SkewProbe probe(system, params.T / 4.0, 0.0);
+  probe.start();
+  system.start();
+  system.run_until(rounds * params.T);
+
+  RampOutcome outcome;
+  outcome.max_local = probe.overall_max().cluster_local;
+  outcome.final_global = probe.samples().back().cluster_global;
+  outcome.initial_global = (clusters - 1) * gap_rounds * params.T;
+  outcome.violations = system.total_violations();
+  return outcome;
+}
+
+}  // namespace ftgcs::bench

@@ -1,0 +1,92 @@
+// E13 — why the paper builds on Lynch–Welch (App. A): on a clique with
+// n > 3f, both Lynch–Welch (ClusterSync) and Srikanth–Toueg tolerate f
+// Byzantine faults, but their skew scales differently:
+//
+//   Srikanth–Toueg:  O(d)        (propose-and-pull; skew carries the full
+//                                 message delay)
+//   Lynch–Welch:     O(U + ρ·d)  (approximate agreement on pulse times;
+//                                 only the *uncertainty* U survives)
+//
+// We sweep U at fixed d: the ST skew stays pinned at the d scale while
+// the LW skew tracks U down.
+#include "bench_util.h"
+
+#include "baselines/srikanth_toueg.h"
+
+namespace {
+
+using namespace ftgcs;
+
+double run_lynch_welch(double rho, double d, double U, std::uint64_t seed) {
+  const core::Params params = core::Params::practical(rho, d, U, 1);
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = seed;
+  core::FtGcsSystem system(net::Graph::line(1), std::move(config));
+  metrics::SkewProbe probe(system, params.T / 4.0, 10.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(60.0 * params.T);
+  return probe.steady_max().intra_cluster;
+}
+
+double run_srikanth_toueg(double rho, double d, double U,
+                          std::uint64_t seed) {
+  baselines::SrikanthTouegSystem::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.rho = rho;
+  config.d = d;
+  config.U = U;
+  config.period = 10.0 * d;
+  config.seed = seed;
+  baselines::SrikanthTouegSystem system(std::move(config));
+  system.start();
+  // Dense sampling: the ST logical clock sawtooths by ≈d at every
+  // resynchronization (rounds nominally advance P but physically take
+  // P+d), so the O(d) skew lives in short windows around the fire waves.
+  double worst = 0.0;
+  for (int step = 1; step <= 2400; ++step) {
+    system.run_until(step * d / 4.0);
+    worst = std::max(worst, system.skew());
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftgcs;
+  using namespace ftgcs::bench;
+
+  banner("E13", "Lynch-Welch vs Srikanth-Toueg skew on a clique "
+                "(App. A: O(U + rho*d) vs O(d))");
+
+  const double rho = 1e-3;
+  const double d = 1.0;
+  metrics::Table table({"U", "Lynch-Welch max skew", "ST (rho=1e-3)",
+                        "ST (rho=1e-2)", "LW/U ratio"});
+  for (double U : {0.2, 0.1, 0.05, 0.02, 0.01}) {
+    double lw = 0.0;
+    double st = 0.0;
+    double st_drifty = 0.0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      lw = std::max(lw, run_lynch_welch(rho, d, U, seed));
+      st = std::max(st, run_srikanth_toueg(rho, d, U, seed));
+      st_drifty = std::max(st_drifty, run_srikanth_toueg(1e-2, d, U, seed));
+    }
+    table.add_row({metrics::Table::num(U, 3), metrics::Table::num(lw, 4),
+                   metrics::Table::num(st, 4),
+                   metrics::Table::num(st_drifty, 4),
+                   metrics::Table::num(lw / U, 3)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nshape check: Lynch-Welch tracks U down (LW/U ~ constant; its "
+      "amortized, continuous clocks\nnever jump). Srikanth-Toueg is pinned "
+      "at the d scale at every U and drift: its jump-based\nphase "
+      "corrections sawtooth the logical clocks by ~d at each "
+      "resynchronization — precisely the\npaper's App. A argument for "
+      "building on (amortized) Lynch-Welch, whose skew is O(U + rho*d).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E5 — the motivating comparison (§1, cf. [15]): master/slave tree
+// synchronization compresses a distributed global skew onto a single
+// edge as its correction wave propagates; FT-GCS keeps every edge within
+// the gradient bound while draining the same skew.
+//
+// Identical scenario for all three algorithms: a line with the global
+// skew evenly distributed (ramp), benign drift and delays.
+#include "baselines/cluster_tree_sync.h"
+#include "baselines/tree_sync.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace ftgcs;
+
+struct Outcome {
+  double initial_local = 0.0;
+  double initial_global = 0.0;
+  double max_local = 0.0;
+  double final_global = 0.0;
+};
+
+Outcome run_cluster_tree(const core::Params& params, int clusters,
+                         int gap_rounds, double rounds, std::uint64_t seed) {
+  baselines::ClusterTreeSystem::Config config;
+  config.params = params;
+  config.seed = seed;
+  for (int c = 0; c < clusters; ++c) {
+    config.cluster_round_offsets.push_back(c * gap_rounds);
+  }
+  baselines::ClusterTreeSystem system(net::Graph::line(clusters),
+                                      std::move(config));
+  Outcome outcome;
+  outcome.initial_local = gap_rounds * params.T;
+  outcome.initial_global = (clusters - 1) * gap_rounds * params.T;
+  system.start();
+  const double step = params.T / 8.0;
+  for (double t = step; t <= rounds * params.T; t += step) {
+    system.run_until(t);
+    outcome.max_local =
+        std::max(outcome.max_local, system.cluster_local_skew());
+  }
+  outcome.final_global = system.cluster_global_skew();
+  return outcome;
+}
+
+Outcome run_node_tree(int nodes, double gap, double horizon,
+                      std::uint64_t seed) {
+  baselines::TreeSyncSystem::Config config;
+  config.rho = 1e-3;
+  config.d = 1.0;
+  config.U = 0.01;
+  config.share_period = 4.0;
+  config.seed = seed;
+  for (int i = 0; i < nodes; ++i) {
+    config.initial_logical.push_back(i * gap);
+  }
+  baselines::TreeSyncSystem system(net::Graph::line(nodes),
+                                   std::move(config));
+  Outcome outcome;
+  outcome.initial_local = gap;
+  outcome.initial_global = (nodes - 1) * gap;
+  system.start();
+  for (double t = 0.25; t <= horizon; t += 0.25) {
+    system.run_until(t);
+    outcome.max_local = std::max(outcome.max_local, system.local_skew());
+  }
+  outcome.final_global = system.global_skew();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftgcs;
+  using namespace ftgcs::bench;
+
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  banner("E5",
+         "skew compression: tree sync vs FT-GCS on a distributed ramp");
+
+  const int clusters = 8;
+  const int gap_rounds = 4;
+
+  metrics::Table table({"algorithm", "init local", "init global",
+                        "max local seen", "max local / init global",
+                        "final global"});
+
+  // Node-level master/slave (pulse echo), same relative ramp.
+  const Outcome tree = run_node_tree(clusters, gap_rounds * params.T, 120.0,
+                                     3);
+  table.add_row({"tree sync (node-level)",
+                 metrics::Table::num(tree.initial_local, 4),
+                 metrics::Table::num(tree.initial_global, 4),
+                 metrics::Table::num(tree.max_local, 4),
+                 metrics::Table::num(tree.max_local / tree.initial_global,
+                                     3),
+                 metrics::Table::num(tree.final_global, 4)});
+
+  // Fault-tolerant clustered master/slave ("simplistic approach").
+  const Outcome cluster_tree =
+      run_cluster_tree(params, clusters, gap_rounds, 100.0, 3);
+  table.add_row({"cluster tree (FT master/slave)",
+                 metrics::Table::num(cluster_tree.initial_local, 4),
+                 metrics::Table::num(cluster_tree.initial_global, 4),
+                 metrics::Table::num(cluster_tree.max_local, 4),
+                 metrics::Table::num(
+                     cluster_tree.max_local / cluster_tree.initial_global, 3),
+                 metrics::Table::num(cluster_tree.final_global, 4)});
+
+  // FT-GCS on the same ramp.
+  const RampOutcome gcs =
+      run_ramp(params, clusters, gap_rounds, 700.0, 3);
+  table.add_row({"FT-GCS (this paper)",
+                 metrics::Table::num(gap_rounds * params.T, 4),
+                 metrics::Table::num(gcs.initial_global, 4),
+                 metrics::Table::num(gcs.max_local, 4),
+                 metrics::Table::num(gcs.max_local / gcs.initial_global, 3),
+                 metrics::Table::num(gcs.final_global, 4)});
+
+  table.print(std::cout);
+  std::printf("\nshape check: both tree variants see a max edge skew close "
+              "to the FULL initial global skew\n(the compression wave); "
+              "FT-GCS never lets an edge exceed ~its initial gap while "
+              "draining.\nTree sync drains fast but violates local "
+              "gradients; FT-GCS drains at rate ~mu keeping them.\n");
+  return 0;
+}

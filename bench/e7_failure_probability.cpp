@@ -1,0 +1,84 @@
+// E7 — Inequality (1): the probability that a cluster of 3f+1 i.i.d.
+// failing nodes exceeds its budget f is at most (3ep)^(f+1).
+//
+// Monte-Carlo over fault placements (the same sampler the system uses for
+// i.i.d. fault plans), compared against the analytic binomial tail and the
+// paper's closed-form bound; plus the system-level survival probability of
+// a line of clusters.
+#include <cmath>
+
+#include "bench_util.h"
+#include "sim/rng.h"
+
+int main() {
+  using namespace ftgcs;
+  using namespace ftgcs::bench;
+
+  banner("E7", "cluster failure probability (Inequality (1))");
+
+  const int trials = 200000;
+  metrics::Table table({"f", "k", "p", "empirical P[>f faults]",
+                        "analytic binomial", "bound (3ep)^(f+1)",
+                        "bound holds"});
+  sim::Rng rng(2026);
+  for (int f : {0, 1, 2, 3}) {
+    const int k = 3 * f + 1;
+    for (double p : {0.001, 0.01, 0.05, 0.1}) {
+      int failures = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        int faulty = 0;
+        for (int node = 0; node < k; ++node) {
+          if (rng.chance(p)) ++faulty;
+        }
+        if (faulty > f) ++failures;
+      }
+      const double empirical = static_cast<double>(failures) / trials;
+      const double analytic = core::cluster_failure_probability(f, p);
+      const double bound = core::cluster_failure_bound(f, p);
+      table.add_row({metrics::Table::integer(f), metrics::Table::integer(k),
+                     metrics::Table::num(p, 3),
+                     metrics::Table::num(empirical, 3),
+                     metrics::Table::num(analytic, 3),
+                     metrics::Table::num(bound, 3),
+                     analytic <= bound ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+
+  // System-level survival: a line of 8 clusters operates iff no cluster
+  // exceeds its budget.
+  std::printf("\nsystem survival, line of 8 clusters "
+              "(P[all clusters within budget] = (1-P1)^8):\n");
+  metrics::Table system_table(
+      {"f", "p", "empirical survival", "analytic (1-P1)^8"});
+  for (int f : {1, 2}) {
+    const int k = 3 * f + 1;
+    for (double p : {0.01, 0.05}) {
+      int survived = 0;
+      for (int trial = 0; trial < trials / 10; ++trial) {
+        bool ok = true;
+        for (int cluster = 0; cluster < 8 && ok; ++cluster) {
+          int faulty = 0;
+          for (int node = 0; node < k; ++node) {
+            if (rng.chance(p)) ++faulty;
+          }
+          if (faulty > f) ok = false;
+        }
+        if (ok) ++survived;
+      }
+      const double analytic =
+          std::pow(1.0 - core::cluster_failure_probability(f, p), 8);
+      system_table.add_row(
+          {metrics::Table::integer(f), metrics::Table::num(p, 3),
+           metrics::Table::num(static_cast<double>(survived) /
+                                   (trials / 10),
+                               4),
+           metrics::Table::num(analytic, 4)});
+    }
+  }
+  system_table.print(std::cout);
+  std::printf("\nshape check: empirical matches the binomial tail; the "
+              "(3ep)^(f+1) bound dominates;\nreliability improves "
+              "super-exponentially in f for small p.\n");
+  return 0;
+}

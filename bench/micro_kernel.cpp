@@ -1,0 +1,106 @@
+// M1 — microbenchmarks of the simulation substrate and the protocol hot
+// paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "byz/fault_plan.h"
+#include "core/ftgcs_system.h"
+#include "core/triggers.h"
+#include "net/graph.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace ftgcs;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule(rng.next_double(), [] {});
+    }
+    while (!queue.empty()) {
+      queue.pop().fn();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  sim::Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(queue.schedule(rng.next_double(), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      queue.cancel(ids[i]);
+    }
+    while (!queue.empty()) {
+      queue.pop().fn();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_TriggerEvaluation(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<double> neighbors(state.range(0));
+  for (auto& est : neighbors) est = rng.uniform(-50.0, 50.0);
+  const core::TriggerView view{0.0, neighbors};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fast_trigger(view, 3.0, 1.0));
+    benchmark::DoNotOptimize(core::slow_trigger(view, 3.0, 1.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TriggerEvaluation)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SingleClusterRound(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 4;
+    core::FtGcsSystem system(net::Graph::line(1), std::move(config));
+    system.start();
+    state.ResumeTiming();
+    system.run_until(10.0 * params.T);
+    benchmark::DoNotOptimize(system.simulator().fired_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // rounds
+}
+BENCHMARK(BM_SingleClusterRound);
+
+void BM_SystemEventThroughput(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  const int clusters = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 5;
+    core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
+    system.start();
+    state.ResumeTiming();
+    system.run_until(5.0 * params.T);
+    events += system.simulator().fired_events();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SystemEventThroughput)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

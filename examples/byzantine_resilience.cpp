@@ -1,0 +1,77 @@
+// The paper's motivation, end to end:
+//
+//   1. plain GCS on a ring — fault-free: small local skew;
+//   2. plain GCS on a ring + ONE Byzantine node: local skew between
+//      correct neighbors blows up ("utterly fails", §1);
+//   3. FT-GCS on the same ring with a full budget of f Byzantine nodes
+//      per cluster: bounds hold.
+#include <cstdio>
+
+#include "byz/fault_plan.h"
+#include "core/ftgcs_system.h"
+#include "gcs/gcs_system.h"
+#include "metrics/skew_tracker.h"
+#include "net/graph.h"
+
+namespace {
+
+double run_plain_gcs(bool with_fault) {
+  using namespace ftgcs;
+  gcs::GcsSystem::Config config;
+  config.params = gcs::GcsParams::derive(1e-3, 1.0, 0.1, 0.05, 1.0);
+  config.seed = 7;
+  if (with_fault) {
+    config.pump_nodes = {4};
+    config.pump_rate = 0.05;
+  }
+  gcs::GcsSystem system(net::Graph::ring(9), std::move(config));
+  system.start();
+  double worst = 0.0;
+  for (int step = 1; step <= 400; ++step) {
+    system.run_until(step * 2.0);
+    worst = std::max(worst, system.local_skew());
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftgcs;
+
+  std::printf("scenario: ring of 9, one Byzantine node advertising "
+              "diverging clocks to its two sides\n\n");
+
+  const double clean = run_plain_gcs(false);
+  std::printf("plain GCS, fault-free       : max local skew = %8.4f\n",
+              clean);
+  const double attacked = run_plain_gcs(true);
+  std::printf("plain GCS, 1 Byzantine node : max local skew = %8.4f   "
+              "(%.1fx worse, still growing)\n",
+              attacked, attacked / clean);
+
+  // FT-GCS on the same ring: each vertex becomes a clique of 3f+1 = 4,
+  // every cluster carries one Byzantine skew pump.
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  net::AugmentedTopology augmented(net::Graph::ring(9), params.k);
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 7;
+  config.fault_plan = byz::FaultPlan::uniform(
+      augmented, params.f, byz::StrategyKind::kSkewPump, 2.0 * params.E, 7);
+  core::FtGcsSystem system(net::Graph::ring(9), std::move(config));
+  metrics::SkewProbe probe(system, params.T / 2.0, 0.0);
+  probe.start();
+  system.start();
+  system.run_until(400.0 * 2.0);
+
+  std::printf("FT-GCS, 9 Byzantine nodes   : max local skew = %8.4f   "
+              "(bound kappa = %.4f, violations = %llu)\n",
+              probe.overall_max().cluster_local, params.kappa,
+              static_cast<unsigned long long>(system.total_violations()));
+
+  std::printf("\nthe fault-tolerant construction holds the gradient bound "
+              "under %d Byzantine nodes;\nplain GCS lost it to one.\n",
+              9 * params.f);
+  return 0;
+}

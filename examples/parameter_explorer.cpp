@@ -1,0 +1,72 @@
+// Parameter explorer: derive and print every constant of the construction
+// for user-supplied model inputs, in both presets, with feasibility checks
+// and the bounds the theorems predict.
+//
+//   ./parameter_explorer [rho] [d] [U] [f]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/params.h"
+#include "metrics/table.h"
+
+namespace {
+
+void show(const char* name, const ftgcs::core::Params& p, int diameter) {
+  std::printf("---- %s ----\n%s", name, p.summary().c_str());
+  std::printf("feasibility:\n%s", p.feasibility_report().c_str());
+  if (p.feasible()) {
+    std::printf("predictions:\n");
+    std::printf("  intra-cluster skew bound     : %.6g\n",
+                p.intra_cluster_skew_bound());
+    std::printf("  global skew bound (D=%d)      : %.6g\n", diameter,
+                p.predicted_global_skew(diameter));
+    std::printf("  local cluster skew (D=%d)     : %.6g\n", diameter,
+                p.predicted_local_skew(p.predicted_global_skew(diameter)));
+    std::printf("  fast-cluster rate >= %.8f\n",
+                p.fast_cluster_rate_lower_bound());
+    std::printf("  slow-cluster rate in [%.8f, %.8f]\n",
+                p.slow_cluster_rate_lower_bound(),
+                p.slow_cluster_rate_upper_bound());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftgcs;
+
+  const double rho = argc > 1 ? std::atof(argv[1]) : 1e-4;
+  const double d = argc > 2 ? std::atof(argv[2]) : 1.0;
+  const double U = argc > 3 ? std::atof(argv[3]) : 0.01;
+  const int f = argc > 4 ? std::atoi(argv[4]) : 1;
+  const int diameter = 16;
+
+  std::printf("model inputs: rho=%g d=%g U=%g f=%d\n\n", rho, d, U, f);
+
+  show("practical preset", core::Params::practical(rho, d, U, f), diameter);
+  // paper_strict needs very small rho; derive at a feasible value so the
+  // table is always meaningful.
+  const double strict_rho = std::min(rho, 1e-6);
+  std::printf("(paper_strict shown at rho=%g — eq. (5) requires "
+              "rho < eps/132 ~ 1.8e-6)\n\n",
+              strict_rho);
+  show("paper_strict preset (eq. 5)",
+       core::Params::paper_strict(strict_rho, d, U, f), diameter);
+
+  // Inequality (1): reliability table.
+  std::printf("---- Inequality (1): P[cluster has > f faults] ----\n");
+  metrics::Table table({"f", "k=3f+1", "p=0.001", "p=0.01", "p=0.05",
+                        "bound(3ep)^(f+1) @0.01"});
+  for (int fi = 0; fi <= 4; ++fi) {
+    table.add_row(
+        {metrics::Table::integer(fi), metrics::Table::integer(3 * fi + 1),
+         metrics::Table::num(core::cluster_failure_probability(fi, 0.001), 3),
+         metrics::Table::num(core::cluster_failure_probability(fi, 0.01), 3),
+         metrics::Table::num(core::cluster_failure_probability(fi, 0.05), 3),
+         metrics::Table::num(core::cluster_failure_bound(fi, 0.01), 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}

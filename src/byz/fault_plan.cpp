@@ -1,0 +1,91 @@
+#include "byz/fault_plan.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+#include "support/assert.h"
+
+namespace ftgcs::byz {
+
+void FaultPlan::add(FaultSpec spec) {
+  FTGCS_EXPECTS(spec.node >= 0);
+  FTGCS_EXPECTS(!contains(spec.node));
+  specs_.push_back(spec);
+}
+
+bool FaultPlan::contains(int node) const {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [node](const FaultSpec& s) { return s.node == node; });
+}
+
+int FaultPlan::max_faults_per_cluster(
+    const net::AugmentedTopology& topo) const {
+  std::vector<int> counts(topo.num_clusters(), 0);
+  for (const FaultSpec& spec : specs_) {
+    ++counts[topo.cluster_of(spec.node)];
+  }
+  return counts.empty() ? 0
+                        : *std::max_element(counts.begin(), counts.end());
+}
+
+namespace {
+
+/// Picks `count` distinct member indices of `cluster` uniformly at random.
+std::vector<int> pick_members(const net::AugmentedTopology& topo, int cluster,
+                              int count, sim::Rng& rng) {
+  FTGCS_EXPECTS(count <= topo.cluster_size());
+  std::vector<int> indices(topo.cluster_size());
+  for (int i = 0; i < topo.cluster_size(); ++i) indices[i] = i;
+  // Partial Fisher–Yates.
+  for (int i = 0; i < count; ++i) {
+    const auto j =
+        i + static_cast<int>(rng.below(indices.size() - i));
+    std::swap(indices[i], indices[j]);
+  }
+  std::vector<int> chosen(indices.begin(), indices.begin() + count);
+  std::vector<int> nodes;
+  nodes.reserve(count);
+  for (int index : chosen) nodes.push_back(topo.node(cluster, index));
+  return nodes;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::uniform(const net::AugmentedTopology& topo, int count,
+                             StrategyKind kind, double param,
+                             std::uint64_t seed) {
+  FaultPlan plan;
+  sim::Rng rng(seed);
+  for (int c = 0; c < topo.num_clusters(); ++c) {
+    for (int node : pick_members(topo, c, count, rng)) {
+      plan.add({node, kind, param});
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::in_cluster(const net::AugmentedTopology& topo,
+                                int cluster, int count, StrategyKind kind,
+                                double param, std::uint64_t seed) {
+  FTGCS_EXPECTS(cluster >= 0 && cluster < topo.num_clusters());
+  FaultPlan plan;
+  sim::Rng rng(seed);
+  for (int node : pick_members(topo, cluster, count, rng)) {
+    plan.add({node, kind, param});
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::iid(const net::AugmentedTopology& topo, double p,
+                         StrategyKind kind, double param,
+                         std::uint64_t seed) {
+  FTGCS_EXPECTS(p >= 0.0 && p <= 1.0);
+  FaultPlan plan;
+  sim::Rng rng(seed);
+  for (int node = 0; node < topo.num_nodes(); ++node) {
+    if (rng.chance(p)) plan.add({node, kind, param});
+  }
+  return plan;
+}
+
+}  // namespace ftgcs::byz

@@ -1,0 +1,57 @@
+// Fault placement plans: which nodes are Byzantine and which strategy each
+// runs. The paper's requirement is ≤ f faults per cluster; plans beyond
+// that budget exist deliberately, to measure the resilience boundary (E4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "byz/strategies.h"
+#include "net/augmented.h"
+
+namespace ftgcs::byz {
+
+struct FaultSpec {
+  int node = -1;
+  StrategyKind kind = StrategyKind::kSilent;
+  double param = 0.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+
+  void add(FaultSpec spec);
+  bool contains(int node) const;
+
+  /// Max number of faulty nodes in any single cluster.
+  int max_faults_per_cluster(const net::AugmentedTopology& topo) const;
+
+  // ---- builders -----------------------------------------------------------
+  static FaultPlan none() { return {}; }
+
+  /// `count` faulty members (random indices) in every cluster, all running
+  /// the same strategy.
+  static FaultPlan uniform(const net::AugmentedTopology& topo, int count,
+                           StrategyKind kind, double param,
+                           std::uint64_t seed);
+
+  /// `count` faulty members in one specific cluster.
+  static FaultPlan in_cluster(const net::AugmentedTopology& topo, int cluster,
+                              int count, StrategyKind kind, double param,
+                              std::uint64_t seed);
+
+  /// Every node independently faulty with probability p (the model behind
+  /// Inequality (1)); all faulty nodes run `kind`.
+  static FaultPlan iid(const net::AugmentedTopology& topo, double p,
+                       StrategyKind kind, double param, std::uint64_t seed);
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+}  // namespace ftgcs::byz

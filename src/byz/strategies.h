@@ -1,0 +1,51 @@
+// Concrete Byzantine strategies.
+//
+//  kSilent      — fail-silent from time 0 (crash fault).
+//  kRandomPulser— Poisson noise pulses (rate = param per unit time);
+//                 stresses the drop/duplicate filtering.
+//  kTwoFaced    — classic attack on trimmed approximate agreement: each
+//                 round, sends its pulse early (−param/2) to one half of
+//                 its audience and late (+param/2) to the other half.
+//  kClockLiar   — runs ClusterSync correctly but on a hardware clock with
+//                 rate 1 + param·ρ (param > 1 breaks the envelope; param <
+//                 0 runs slow): the node that "refuses to adjust".
+//  kSkewPump    — intercluster attack: advertises its cluster early
+//                 (−param) to lower-id neighbor clusters and late (+param)
+//                 to higher-id ones, trying to tear adjacent cluster
+//                 clocks apart; in-cluster behaviour stays plausible.
+//  kEquivocator — independent uniform offset in ±param/2 per receiver per
+//                 round.
+//  kWindowEdge  — adaptive attack on the amortization clamp: each round,
+//                 alternately targets the extreme ends of the plausible
+//                 pulse window (±param around the reference pulse,
+//                 flipping sign each round), maximizing the correction it
+//                 can induce without being trimmed as an outright outlier.
+//  kDelayJitter — honest pulse times but adversarial channel use: minimum
+//                 physical delay to even-indexed receivers, maximum to
+//                 odd ones (param unused) — the worst case for the
+//                 receiver's delay compensation.
+#pragma once
+
+#include <memory>
+
+#include "byz/strategy.h"
+
+namespace ftgcs::byz {
+
+enum class StrategyKind {
+  kSilent,
+  kRandomPulser,
+  kTwoFaced,
+  kClockLiar,
+  kSkewPump,
+  kEquivocator,
+  kWindowEdge,
+  kDelayJitter,
+};
+
+const char* strategy_name(StrategyKind kind);
+
+/// Factory. `param`'s meaning depends on the kind (see above).
+std::unique_ptr<Strategy> make_strategy(StrategyKind kind, double param);
+
+}  // namespace ftgcs::byz

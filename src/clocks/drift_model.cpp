@@ -1,0 +1,111 @@
+#include "clocks/drift_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "support/assert.h"
+
+namespace ftgcs::clocks {
+
+void ConstantDrift::install(sim::Simulator& simulator,
+                            std::vector<RateSink> sinks) {
+  const sim::Time now = simulator.now();
+  const std::size_t n = sinks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    double rate;
+    if (spread_) {
+      rate = n > 1 ? 1.0 + rho_ * static_cast<double>(i) /
+                               static_cast<double>(n - 1)
+                   : 1.0 + rho_ / 2.0;
+    } else {
+      rate = rng_.uniform(1.0, 1.0 + rho_);
+    }
+    sinks[i](now, rate);
+  }
+}
+
+void RandomWalkDrift::install(sim::Simulator& simulator,
+                              std::vector<RateSink> sinks) {
+  FTGCS_EXPECTS(interval_ > 0.0);
+  sinks_ = std::move(sinks);
+  rates_.resize(sinks_.size());
+  const sim::Time now = simulator.now();
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    rates_[i] = rng_.uniform(1.0, 1.0 + rho_);
+    sinks_[i](now, rates_[i]);
+  }
+  simulator.after(interval_, [this, &simulator] { tick(simulator); });
+}
+
+void RandomWalkDrift::tick(sim::Simulator& simulator) {
+  const sim::Time now = simulator.now();
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    double r = rates_[i] + rng_.uniform(-step_, step_);
+    // Reflect into the envelope [1, 1+rho].
+    if (r < 1.0) r = 2.0 - r;
+    if (r > 1.0 + rho_) r = 2.0 * (1.0 + rho_) - r;
+    if (r < 1.0) r = 1.0;  // pathological step size > rho
+    rates_[i] = r;
+    sinks_[i](now, r);
+  }
+  simulator.after(interval_, [this, &simulator] { tick(simulator); });
+}
+
+void SinusoidalDrift::install(sim::Simulator& simulator,
+                              std::vector<RateSink> sinks) {
+  FTGCS_EXPECTS(period_ > 0.0 && sample_ > 0.0);
+  sinks_ = std::move(sinks);
+  phases_.resize(sinks_.size());
+  for (auto& phase : phases_) phase = rng_.next_double();
+  tick(simulator);
+}
+
+void SinusoidalDrift::tick(sim::Simulator& simulator) {
+  const sim::Time now = simulator.now();
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    const double arg =
+        2.0 * std::numbers::pi * (now / period_ + phases_[i]);
+    const double rate = 1.0 + rho_ / 2.0 + (rho_ / 2.0) * std::sin(arg);
+    sinks_[i](now, rate);
+  }
+  simulator.after(sample_, [this, &simulator] { tick(simulator); });
+}
+
+void SpatialSplitDrift::install(sim::Simulator& simulator,
+                                std::vector<RateSink> sinks) {
+  FTGCS_EXPECTS(sinks.size() == group_.size());
+  sinks_ = std::move(sinks);
+  apply(simulator, /*flipped=*/false);
+}
+
+void SpatialSplitDrift::apply(sim::Simulator& simulator, bool flipped) {
+  const sim::Time now = simulator.now();
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    const bool first_side = group_[i] < boundary_;
+    const bool fast = first_side != flipped;
+    sinks_[i](now, fast ? 1.0 + rho_ : 1.0);
+  }
+  if (flip_every_ > 0.0) {
+    simulator.after(flip_every_, [this, &simulator, flipped] {
+      apply(simulator, !flipped);
+    });
+  }
+}
+
+void ScheduledDrift::install(sim::Simulator& simulator,
+                             std::vector<RateSink> sinks) {
+  FTGCS_EXPECTS(initial_.size() == sinks.size());
+  sinks_ = std::move(sinks);
+  const sim::Time now = simulator.now();
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    sinks_[i](now, initial_[i]);
+  }
+  for (const Change& change : script_) {
+    FTGCS_EXPECTS(change.node < sinks_.size());
+    simulator.at(change.at, [this, change] {
+      sinks_[change.node](change.at, change.rate);
+    });
+  }
+}
+
+}  // namespace ftgcs::clocks

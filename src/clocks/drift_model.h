@@ -1,0 +1,153 @@
+// Hardware-drift models.
+//
+// The paper only assumes h_v(t) ∈ [1, 1+ρ], measurable; everything else is
+// adversarial. A DriftModel decides each node's rate over time by
+// scheduling rate-change events on the simulator and pushing new rates into
+// a per-node callback (which forwards to HardwareClock/LogicalClock).
+//
+// Models:
+//   ConstantDrift       — each node gets one fixed rate (random, or given).
+//   RandomWalkDrift     — rate performs a bounded random walk; models
+//                         temperature-dependent oscillator wander.
+//   SinusoidalDrift     — smooth periodic wander (piecewise-constant
+//                         sampled), phase-shifted per node.
+//   SpatialSplitDrift   — adversarial: nodes in the first half of the
+//                         cluster graph run at 1+ρ, the rest at 1;
+//                         maximizes skew gradients across the network and
+//                         optionally flips sides periodically.
+//   ScheduledDrift      — explicit (time, node, rate) script for tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/time_types.h"
+
+namespace ftgcs::clocks {
+
+/// Receives rate updates for one node.
+using RateSink = std::function<void(sim::Time now, double rate)>;
+
+class DriftModel {
+ public:
+  virtual ~DriftModel() = default;
+
+  /// Installs the model: assigns initial rates (via sinks, called with
+  /// now = sim.now()) and schedules any future changes. `sinks[i]` controls
+  /// node i; the envelope is [1, 1+rho].
+  virtual void install(sim::Simulator& simulator,
+                       std::vector<RateSink> sinks) = 0;
+};
+
+/// Every node keeps one rate forever. If `spread` is true, rates are spread
+/// deterministically across the envelope (node 0 slowest ... last fastest);
+/// otherwise sampled uniformly at random.
+class ConstantDrift final : public DriftModel {
+ public:
+  ConstantDrift(double rho, std::uint64_t seed, bool spread = false)
+      : rho_(rho), rng_(seed), spread_(spread) {}
+
+  void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+
+ private:
+  double rho_;
+  sim::Rng rng_;
+  bool spread_;
+};
+
+/// Bounded random walk: every `step_interval` (Newtonian) each node's rate
+/// moves by a uniform step in ±step_size, reflected into [1, 1+rho].
+class RandomWalkDrift final : public DriftModel {
+ public:
+  RandomWalkDrift(double rho, sim::Duration step_interval, double step_size,
+                  std::uint64_t seed)
+      : rho_(rho),
+        interval_(step_interval),
+        step_(step_size),
+        rng_(seed) {}
+
+  void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+
+ private:
+  void tick(sim::Simulator& simulator);
+
+  double rho_;
+  sim::Duration interval_;
+  double step_;
+  sim::Rng rng_;
+  std::vector<RateSink> sinks_;
+  std::vector<double> rates_;
+};
+
+/// Piecewise-constant sampling of 1 + rho/2 + (rho/2)·sin(2π(t/period + φ_i))
+/// with per-node random phase φ_i.
+class SinusoidalDrift final : public DriftModel {
+ public:
+  SinusoidalDrift(double rho, sim::Duration period, sim::Duration sample_every,
+                  std::uint64_t seed)
+      : rho_(rho), period_(period), sample_(sample_every), rng_(seed) {}
+
+  void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+
+ private:
+  void tick(sim::Simulator& simulator);
+
+  double rho_;
+  sim::Duration period_;
+  sim::Duration sample_;
+  sim::Rng rng_;
+  std::vector<RateSink> sinks_;
+  std::vector<double> phases_;
+};
+
+/// Adversarial spatial split: nodes whose group id (supplied by the caller;
+/// typically the cluster index or line position) is below `boundary` run at
+/// 1+rho, others at 1. If flip_every > 0, the two sides swap rates
+/// periodically — the worst case for gradient algorithms, which must keep
+/// re-absorbing the drift-induced skew.
+class SpatialSplitDrift final : public DriftModel {
+ public:
+  SpatialSplitDrift(double rho, std::vector<int> group_of_node, int boundary,
+                    sim::Duration flip_every = 0.0)
+      : rho_(rho),
+        group_(std::move(group_of_node)),
+        boundary_(boundary),
+        flip_every_(flip_every) {}
+
+  void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+
+ private:
+  void apply(sim::Simulator& simulator, bool flipped);
+
+  double rho_;
+  std::vector<int> group_;
+  int boundary_;
+  sim::Duration flip_every_;
+  std::vector<RateSink> sinks_;
+};
+
+/// Explicit script of rate changes, for unit tests.
+class ScheduledDrift final : public DriftModel {
+ public:
+  struct Change {
+    sim::Time at;
+    std::size_t node;
+    double rate;
+  };
+
+  ScheduledDrift(std::vector<double> initial_rates, std::vector<Change> script)
+      : initial_(std::move(initial_rates)), script_(std::move(script)) {}
+
+  void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+
+ private:
+  std::vector<double> initial_;
+  std::vector<Change> script_;
+  std::vector<RateSink> sinks_;
+};
+
+}  // namespace ftgcs::clocks

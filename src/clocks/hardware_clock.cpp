@@ -1,0 +1,31 @@
+#include "clocks/hardware_clock.h"
+
+#include "support/assert.h"
+
+namespace ftgcs::clocks {
+
+HardwareClock::HardwareClock(sim::Time t0, double h0, double rate)
+    : t0_(t0), h0_(h0), rate_(rate) {
+  FTGCS_EXPECTS(rate > 0.0);
+}
+
+double HardwareClock::read(sim::Time now) const {
+  FTGCS_EXPECTS(now >= t0_);
+  return h0_ + rate_ * (now - t0_);
+}
+
+void HardwareClock::set_rate(sim::Time now, double rate) {
+  FTGCS_EXPECTS(now >= t0_);
+  FTGCS_EXPECTS(rate > 0.0);
+  h0_ = read(now);
+  t0_ = now;
+  rate_ = rate;
+}
+
+sim::Time HardwareClock::when_reaches(double target, sim::Time now) const {
+  const double current = read(now);
+  FTGCS_EXPECTS(target >= current);
+  return now + (target - current) / rate_;
+}
+
+}  // namespace ftgcs::clocks

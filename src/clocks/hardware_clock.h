@@ -1,0 +1,43 @@
+// Hardware clock model (paper §2, "Timing and clocks").
+//
+// H_v(t) = ∫₀ᵗ h_v(τ) dτ with 1 ≤ h_v(t) ≤ 1+ρ for correct nodes. We model
+// h_v as piecewise constant: the clock stores (t₀, H₀, rate) and integrates
+// in closed form. Drift models change the rate through set_rate(), which
+// first advances the accumulated value so history is never rewritten.
+//
+// Byzantine nodes may carry rates outside [1, 1+ρ]; the envelope is
+// enforced by the drift model for correct nodes, not by this class, so the
+// same substrate serves both.
+#pragma once
+
+#include "sim/time_types.h"
+
+namespace ftgcs::clocks {
+
+class HardwareClock {
+ public:
+  /// Starts at time `t0` with value `h0` and rate `rate`.
+  explicit HardwareClock(sim::Time t0 = 0.0, double h0 = 0.0,
+                         double rate = 1.0);
+
+  /// H_v(now). Requires now >= the time of the last rate change.
+  double read(sim::Time now) const;
+
+  /// Current rate h_v.
+  double rate() const { return rate_; }
+
+  /// Changes the rate at time `now` (piecewise-constant segment boundary).
+  void set_rate(sim::Time now, double rate);
+
+  /// Inverts the clock: the Newtonian time at which the clock reaches
+  /// `target` assuming the current rate persists. Requires
+  /// target >= read(now).
+  sim::Time when_reaches(double target, sim::Time now) const;
+
+ private:
+  sim::Time t0_;   // time of last rate change
+  double h0_;      // H(t0_)
+  double rate_;    // current rate
+};
+
+}  // namespace ftgcs::clocks

@@ -1,0 +1,57 @@
+#include "clocks/logical_timer.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::clocks {
+
+LogicalTimerSet::LogicalTimerSet(sim::Simulator& simulator,
+                                 LogicalClock& clock)
+    : sim_(simulator), clock_(clock) {
+  clock_.set_rate_observer([this](sim::Time now) { reschedule_all(now); });
+}
+
+LogicalTimerSet::~LogicalTimerSet() {
+  clock_.set_rate_observer(nullptr);
+  for (auto& [key, pending] : pending_) {
+    sim_.cancel(pending.event);
+  }
+}
+
+sim::EventId LogicalTimerSet::schedule_one(Key key, const Pending& p) {
+  const sim::Time fire_at = clock_.when_reaches(p.target, sim_.now());
+  return sim_.at(fire_at, [this, key] {
+    auto it = pending_.find(key);
+    FTGCS_ASSERT(it != pending_.end());
+    Callback fn = std::move(it->second.fn);
+    pending_.erase(it);
+    fn();
+  });
+}
+
+void LogicalTimerSet::arm(Key key, double logical_target, Callback fn) {
+  FTGCS_EXPECTS(fn != nullptr);
+  cancel(key);
+  Pending p{logical_target, std::move(fn), sim::EventId{}};
+  auto [it, inserted] = pending_.emplace(key, std::move(p));
+  FTGCS_ASSERT(inserted);
+  it->second.event = schedule_one(key, it->second);
+}
+
+void LogicalTimerSet::cancel(Key key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  sim_.cancel(it->second.event);
+  pending_.erase(it);
+}
+
+void LogicalTimerSet::reschedule_all(sim::Time now) {
+  (void)now;
+  for (auto& [key, pending] : pending_) {
+    sim_.cancel(pending.event);
+    pending.event = schedule_one(key, pending);
+  }
+}
+
+}  // namespace ftgcs::clocks

@@ -1,0 +1,66 @@
+// Timers that fire at *logical* clock values.
+//
+// Algorithm 1 schedules its actions "at-time L_v(t_v(r)) + τ", i.e., at
+// logical times. Since the logical clock's rate changes whenever δ, γ, or
+// the hardware rate changes, the Newtonian fire time of a pending logical
+// timer moves. LogicalTimerSet owns the pending timers of one logical clock
+// and transparently reschedules them on every rate change (it installs
+// itself as the clock's rate observer).
+//
+// Timers are keyed by an integer so a protocol can name them (round-pulse,
+// phase-2-end, round-end, ...) and replace/cancel by name.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "clocks/logical_clock.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::clocks {
+
+class LogicalTimerSet {
+ public:
+  using Callback = std::function<void()>;
+  using Key = std::uint32_t;
+
+  /// Binds to a simulator and a clock. The set registers itself as the
+  /// clock's rate observer; the clock must outlive the set.
+  LogicalTimerSet(sim::Simulator& simulator, LogicalClock& clock);
+
+  ~LogicalTimerSet();
+
+  LogicalTimerSet(const LogicalTimerSet&) = delete;
+  LogicalTimerSet& operator=(const LogicalTimerSet&) = delete;
+
+  /// Arms (or replaces) timer `key` to fire when the logical clock reaches
+  /// `logical_target`. The callback runs exactly once, at the Newtonian
+  /// time at which the (possibly rate-changing) clock first reaches the
+  /// target. Requires logical_target >= clock.read(now).
+  void arm(Key key, double logical_target, Callback fn);
+
+  /// Cancels timer `key`; no-op if not armed.
+  void cancel(Key key);
+
+  /// True if timer `key` is armed.
+  bool armed(Key key) const { return pending_.count(key) > 0; }
+
+  std::size_t armed_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    double target;
+    Callback fn;
+    sim::EventId event;
+  };
+
+  void reschedule_all(sim::Time now);
+  sim::EventId schedule_one(Key key, const Pending& p);
+
+  sim::Simulator& sim_;
+  LogicalClock& clock_;
+  std::map<Key, Pending> pending_;
+};
+
+}  // namespace ftgcs::clocks

@@ -1,0 +1,145 @@
+#include "core/cluster_sync.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+ClusterSyncEngine::ClusterSyncEngine(sim::Simulator& simulator,
+                                     const ClusterSyncConfig& cfg,
+                                     double initial_hardware_rate,
+                                     sim::Rng loopback_rng)
+    : sim_(simulator),
+      cfg_(cfg),
+      clock_(cfg.phi, cfg.mu, initial_hardware_rate, simulator.now(),
+             (cfg.start_round - 1) * (cfg.tau1 + cfg.tau2 + cfg.tau3)),
+      timers_(simulator, clock_),
+      loopback_rng_(loopback_rng) {
+  FTGCS_EXPECTS(cfg.start_round >= 1);
+  FTGCS_EXPECTS(cfg.tau1 > 0.0 && cfg.tau2 > 0.0 && cfg.tau3 > 0.0);
+  FTGCS_EXPECTS(cfg.phi > 0.0 && cfg.phi < 1.0);
+  FTGCS_EXPECTS(cfg.k >= 2 * cfg.f + 1);  // order statistics well-defined
+  FTGCS_EXPECTS(cfg.f >= 0);
+  if (!cfg.active) {
+    FTGCS_EXPECTS(cfg.d > 0.0 && cfg.U >= 0.0 && cfg.U <= cfg.d);
+  }
+  arrivals_.resize(static_cast<std::size_t>(cfg.k));
+}
+
+void ClusterSyncEngine::start() {
+  FTGCS_EXPECTS(round_ == 0);
+  begin_round(cfg_.start_round);
+}
+
+void ClusterSyncEngine::begin_round(int r) {
+  round_ = r;
+  round_start_logical_ = (r - 1) * round_length();
+  listening_ = true;
+  std::fill(arrivals_.begin(), arrivals_.end(), std::nullopt);
+  own_arrival_.reset();
+
+  // Algorithm 1 line 3: δ_v ← 1 for phases 1 and 2.
+  clock_.set_delta(sim_.now(), 1.0);
+
+  if (on_round_start) on_round_start(r);
+
+  const double base = round_start_logical_;
+  timers_.arm(kPulseTimer, base + cfg_.tau1,
+              [this] { pulse_instant(sim_.now()); });
+  timers_.arm(kPhaseTwoEndTimer, base + cfg_.tau1 + cfg_.tau2,
+              [this] { end_phase_two(sim_.now()); });
+  timers_.arm(kRoundEndTimer, base + round_length(),
+              [this] { begin_round(round_ + 1); });
+}
+
+void ClusterSyncEngine::pulse_instant(sim::Time now) {
+  if (on_pulse) on_pulse(round_, now);
+  if (!cfg_.active) {
+    // Corollary 3.5: the passive observer simulates its own pulse; the
+    // loopback delay is drawn from the same physical interval [d−U, d].
+    const sim::Duration delay =
+        loopback_rng_.uniform(cfg_.d - cfg_.U, cfg_.d);
+    const int r = round_;
+    sim_.after(delay, [this, r] {
+      if (round_ == r && listening_) {
+        own_arrival_ = clock_.read(sim_.now());
+      } else {
+        ++dropped_pulses_;
+      }
+    });
+  }
+  // Active mode: the owner broadcasts in on_pulse; the physical loopback
+  // delivers to on_member_pulse(own_index_), which records own_arrival_.
+}
+
+void ClusterSyncEngine::on_member_pulse(int member_index, sim::Time now) {
+  FTGCS_EXPECTS(member_index >= 0 && member_index < cfg_.k);
+  if (round_ == 0 || !listening_) {
+    ++dropped_pulses_;
+    return;
+  }
+  auto& slot = arrivals_[static_cast<std::size_t>(member_index)];
+  if (slot.has_value()) {
+    ++duplicate_pulses_;
+    return;
+  }
+  slot = clock_.read(now);
+  if (cfg_.active && member_index == own_index_) {
+    own_arrival_ = slot;
+  }
+}
+
+double ClusterSyncEngine::compute_correction() const {
+  // Pulses that did not arrive are clamped to the end of the collection
+  // window — the latest moment they could still legitimately arrive.
+  const double window_end =
+      round_start_logical_ + cfg_.tau1 + cfg_.tau2;
+  const double own = own_arrival_.value_or(window_end);
+
+  std::vector<double> offsets;
+  offsets.reserve(arrivals_.size());
+  for (const auto& arrival : arrivals_) {
+    offsets.push_back(arrival.value_or(window_end) - own);
+  }
+  std::sort(offsets.begin(), offsets.end());
+  // ∆_v(r) = (S^(f+1) + S^(k−f)) / 2, 1-based order statistics.
+  const auto f = static_cast<std::size_t>(cfg_.f);
+  const double lo = offsets[f];
+  const double hi = offsets[offsets.size() - 1 - f];
+  return (lo + hi) / 2.0;
+}
+
+void ClusterSyncEngine::end_phase_two(sim::Time now) {
+  listening_ = false;
+  int received = 0;
+  for (const auto& arrival : arrivals_) {
+    if (arrival.has_value()) ++received;
+  }
+  if (received < cfg_.k - cfg_.f) ++starved_rounds_;
+  const double raw = compute_correction();
+  last_correction_ = raw;
+
+  // Proper execution (Def. B.3) requires |∆| ≤ ϕ·τ3; clamping keeps
+  // δ_v ∈ [0, 2/(1−ϕ)] (Lemma B.4) under over-budget attacks.
+  const double limit = cfg_.phi * cfg_.tau3;
+  double delta_corr = raw;
+  bool violated = false;
+  if (delta_corr > limit) {
+    delta_corr = limit;
+    violated = true;
+  } else if (delta_corr < -limit) {
+    delta_corr = -limit;
+    violated = true;
+  }
+  if (violated) ++violations_;
+
+  // Algorithm 1 line 13.
+  const double delta_v =
+      1.0 - (1.0 + 1.0 / cfg_.phi) * delta_corr / (cfg_.tau3 + delta_corr);
+  clock_.set_delta(now, delta_v);
+
+  if (on_correction) on_correction(round_, raw, violated);
+}
+
+}  // namespace ftgcs::core

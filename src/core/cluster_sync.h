@@ -1,0 +1,187 @@
+// ClusterSync — Algorithm 1 of the paper (Lynch–Welch with amortized
+// corrections), usable in two modes:
+//
+//  * active  — a cluster member: broadcasts a pulse each round and applies
+//              the approximate-agreement correction to its logical clock.
+//  * passive — the estimate of Corollary 3.5: a node adjacent to a cluster
+//              simulates ClusterSync, listening to the cluster's pulses
+//              without sending; its logical clock is the estimate L̃.
+//
+// Round structure (logical durations; r counts from 1, round r starts at
+// logical time (r−1)·T):
+//   phase 1 [0, τ1):        δ_v = 1; at logical offset τ1 broadcast pulse
+//   phase 2 [τ1, τ1+τ2):    collect pulses; at the end compute
+//                           ∆_v(r) = (S^(f+1) + S^(k−f)) / 2
+//   phase 3 [τ1+τ2, T):     δ_v = 1 − (1+1/ϕ)·∆/(τ3+∆)  (Lemma 3.1:
+//                           the nominal round length becomes T + ∆)
+//
+// Offsets are measured in the node's own logical time relative to the
+// arrival of its own pulse: τ_wv = L_v(t_wv) − L_v(t_vv) (Algorithm 1
+// line 10). A passive engine has no physical loopback; it simulates one
+// with a delay drawn from the same [d−U, d] interval.
+//
+// Robustness rules (behaviour under faults, not specified by the
+// pseudo-code but required for a running system):
+//  * only pulses arriving during phases 1–2 of the current round count;
+//    later ones are dropped and counted (`dropped_pulses`);
+//  * the first pulse per member per round wins; duplicates are counted;
+//  * members whose pulse is missing at the end of phase 2 are clamped to
+//    the end of the collection window (the latest time the pulse could
+//    still arrive), which lands them in the trimmed top-f after sorting;
+//  * if |∆| > ϕ·τ3 (proper-execution condition 3 of Def. B.3 violated —
+//    possible only under over-budget attacks), ∆ is clamped and a
+//    violation is counted, keeping δ_v within [0, 2/(1−ϕ)] (Lemma B.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clocks/logical_clock.h"
+#include "clocks/logical_timer.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::core {
+
+struct ClusterSyncConfig {
+  double tau1 = 0.0;
+  double tau2 = 0.0;
+  double tau3 = 0.0;
+  double phi = 0.0;
+  double mu = 0.0;
+  int f = 0;          ///< trim budget
+  int k = 1;          ///< cluster size (number of expected senders)
+  bool active = true; ///< false: passive estimate (Corollary 3.5)
+  double d = 0.0;     ///< channel delay bound (passive loopback simulation)
+  double U = 0.0;     ///< channel uncertainty (passive loopback simulation)
+
+  /// First round executed at start(). A value m+1 starts the logical clock
+  /// at m·T — used to initialize a cluster with a logical offset that is a
+  /// whole number of rounds (experiments on skew absorption; models the
+  /// paper's "newly inserted edges" initialization variant).
+  int start_round = 1;
+};
+
+class ClusterSyncEngine {
+ public:
+  /// `loopback_rng` is used only in passive mode (virtual self-delay).
+  ClusterSyncEngine(sim::Simulator& simulator, const ClusterSyncConfig& cfg,
+                    double initial_hardware_rate, sim::Rng loopback_rng);
+
+  ClusterSyncEngine(const ClusterSyncEngine&) = delete;
+  ClusterSyncEngine& operator=(const ClusterSyncEngine&) = delete;
+
+  /// Begins round 1 at the current simulation time (assumed to be the
+  /// global start; the paper assumes simultaneous initialization).
+  void start();
+
+  /// Delivers the round pulse of cluster member `member_index` (0-based
+  /// within the observed cluster). In active mode the engine's own pulse
+  /// arrives here too (loopback), with `member_index` = own index.
+  void on_member_pulse(int member_index, sim::Time now);
+
+  /// The engine's logical clock: L_v for active mode, the estimate L̃ for
+  /// passive mode.
+  clocks::LogicalClock& clock() { return clock_; }
+  const clocks::LogicalClock& clock() const { return clock_; }
+
+  /// Forwards a hardware-rate change to the logical clock.
+  void set_hardware_rate(sim::Time now, double rate) {
+    clock_.set_hardware_rate(now, rate);
+  }
+
+  /// Current round (1-based; 0 before start()).
+  int round() const { return round_; }
+
+  /// True while in phases 1–2 of the current round (collecting pulses).
+  bool listening() const { return listening_; }
+
+  /// Logical time at which the current round began: (r−1)·T (Lemma B.6).
+  double round_start_logical() const { return round_start_logical_; }
+
+  double round_length() const { return cfg_.tau1 + cfg_.tau2 + cfg_.tau3; }
+
+  // ---- hooks --------------------------------------------------------------
+  /// Invoked at each round start, after δ_v ← 1 and before timers are
+  /// armed. The intercluster layer sets γ_v here (Algorithm 2).
+  std::function<void(int round)> on_round_start;
+
+  /// Active mode: invoked at the pulse instant; the owner broadcasts the
+  /// physical pulse here. Passive mode: invoked at the simulated pulse
+  /// instant p̃ (no send).
+  std::function<void(int round, sim::Time now)> on_pulse;
+
+  /// Invoked after the phase-2 computation with the correction ∆_v(r)
+  /// (pre-clamping) and whether the proper-execution condition |∆| ≤ ϕ·τ3
+  /// was violated.
+  std::function<void(int round, double delta_corr, bool violated)>
+      on_correction;
+
+  // ---- statistics ----------------------------------------------------------
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t dropped_pulses() const { return dropped_pulses_; }
+  std::uint64_t duplicate_pulses() const { return duplicate_pulses_; }
+  double last_correction() const { return last_correction_; }
+
+  /// Rounds that closed with fewer than k−f member pulses received: a
+  /// correct, synchronized cluster always delivers at least k−f, so a
+  /// starved round means this node has fallen out of the round structure
+  /// (e.g. a transient fault beyond the proper-execution margins). The
+  /// plain algorithm cannot re-acquire on its own — that is what the
+  /// self-stabilizing wrapper of [8] adds — but the condition is
+  /// detectable, and this counter surfaces it.
+  std::uint64_t starved_rounds() const { return starved_rounds_; }
+
+  /// Index of this node within the observed cluster (active mode only);
+  /// set by the owner before start(). Passive mode ignores it.
+  void set_own_index(int index) { own_index_ = index; }
+
+  /// FAULT-INJECTION HOOK (tests/experiments only): models a transient
+  /// fault (bit flip, SEU) that corrupts the logical clock by `offset`.
+  /// The protocol itself never jumps (eq. 2 is continuous); recovery
+  /// happens through the ordinary correction path — the contraction the
+  /// self-stabilizing variant of [8] builds on. Perturbations beyond the
+  /// proper-execution margins are *not* guaranteed to recover (the full
+  /// [8] stabilization machinery is out of scope).
+  void inject_transient_fault(sim::Time now, double offset) {
+    clock_.jump(now, clock_.read(now) + offset);
+  }
+
+ private:
+  enum TimerKey : clocks::LogicalTimerSet::Key {
+    kPulseTimer = 1,
+    kPhaseTwoEndTimer = 2,
+    kRoundEndTimer = 3,
+  };
+
+  void begin_round(int r);
+  void pulse_instant(sim::Time now);
+  void end_phase_two(sim::Time now);
+  double compute_correction() const;
+
+  sim::Simulator& sim_;
+  ClusterSyncConfig cfg_;
+  clocks::LogicalClock clock_;
+  clocks::LogicalTimerSet timers_;
+  sim::Rng loopback_rng_;
+
+  int own_index_ = 0;
+  int round_ = 0;
+  double round_start_logical_ = 0.0;
+  bool listening_ = false;
+
+  /// Logical arrival times of this round's pulses, indexed by member;
+  /// nullopt = not (yet) received.
+  std::vector<std::optional<double>> arrivals_;
+  std::optional<double> own_arrival_;  ///< L_v(t_vv)
+
+  std::uint64_t violations_ = 0;
+  std::uint64_t dropped_pulses_ = 0;
+  std::uint64_t duplicate_pulses_ = 0;
+  std::uint64_t starved_rounds_ = 0;
+  double last_correction_ = 0.0;
+};
+
+}  // namespace ftgcs::core

@@ -1,0 +1,72 @@
+#include "core/estimates.h"
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+EstimateBank::EstimateBank(sim::Simulator& simulator,
+                           const ClusterSyncConfig& cfg,
+                           const std::vector<int>& adjacent_clusters,
+                           double initial_hardware_rate, sim::Rng& rng,
+                           const std::vector<int>& start_rounds)
+    : order_(adjacent_clusters) {
+  FTGCS_EXPECTS(start_rounds.empty() ||
+                start_rounds.size() == order_.size());
+  ClusterSyncConfig passive_cfg = cfg;
+  passive_cfg.active = false;
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const int cluster = order_[i];
+    passive_cfg.start_round = start_rounds.empty() ? 1 : start_rounds[i];
+    auto engine = std::make_unique<ClusterSyncEngine>(
+        simulator, passive_cfg, initial_hardware_rate,
+        rng.fork(static_cast<std::uint64_t>(cluster) + 1));
+    const auto [it, inserted] = replicas_.emplace(cluster, std::move(engine));
+    FTGCS_EXPECTS(inserted);
+    (void)it;
+  }
+}
+
+void EstimateBank::start() {
+  for (auto& [cluster, replica] : replicas_) replica->start();
+}
+
+void EstimateBank::on_pulse(int cluster, int member_index, sim::Time now) {
+  auto it = replicas_.find(cluster);
+  FTGCS_EXPECTS(it != replicas_.end());
+  it->second->on_member_pulse(member_index, now);
+}
+
+double EstimateBank::estimate(int cluster, sim::Time now) const {
+  auto it = replicas_.find(cluster);
+  FTGCS_EXPECTS(it != replicas_.end());
+  return it->second->clock().read(now);
+}
+
+std::vector<double> EstimateBank::all_estimates(sim::Time now) const {
+  std::vector<double> values;
+  values.reserve(order_.size());
+  for (int cluster : order_) values.push_back(estimate(cluster, now));
+  return values;
+}
+
+void EstimateBank::set_hardware_rate(sim::Time now, double rate) {
+  for (auto& [cluster, replica] : replicas_) {
+    replica->set_hardware_rate(now, rate);
+  }
+}
+
+std::uint64_t EstimateBank::violations() const {
+  std::uint64_t total = 0;
+  for (const auto& [cluster, replica] : replicas_) {
+    total += replica->violations();
+  }
+  return total;
+}
+
+ClusterSyncEngine& EstimateBank::replica(int cluster) {
+  auto it = replicas_.find(cluster);
+  FTGCS_EXPECTS(it != replicas_.end());
+  return *it->second;
+}
+
+}  // namespace ftgcs::core

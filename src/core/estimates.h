@@ -1,0 +1,63 @@
+// Cluster-clock estimates (Corollary 3.5).
+//
+// A node v adjacent to cluster B estimates B's cluster clock by running a
+// passive ClusterSync replica that listens to the pulses of B's members.
+// The replica's logical clock — driven by v's own hardware clock, with
+// γ ≡ 0 and the usual δ corrections — is the estimate L̃_vB(t). The
+// Lynch–Welch analysis applies unchanged to the replica (its nominal rate
+// lies in the same [1, ϑ_g] envelope), so |L̃_vB(t) − L_B(t)| ≤ E.
+//
+// EstimateBank owns one replica per adjacent cluster and routes pulses.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/cluster_sync.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::core {
+
+class EstimateBank {
+ public:
+  /// Creates one passive replica per cluster in `adjacent_clusters`.
+  /// `start_rounds`, if non-empty, gives each replica's initial round
+  /// (parallel to `adjacent_clusters`); used when the observed clusters
+  /// start with whole-round logical offsets and the estimates are assumed
+  /// pre-synchronized (paper's flooding-based initialization).
+  EstimateBank(sim::Simulator& simulator, const ClusterSyncConfig& cfg,
+               const std::vector<int>& adjacent_clusters,
+               double initial_hardware_rate, sim::Rng& rng,
+               const std::vector<int>& start_rounds = {});
+
+  /// Starts all replicas (at the global time-0 initialization).
+  void start();
+
+  /// Routes a pulse from member `member_index` of `cluster`.
+  void on_pulse(int cluster, int member_index, sim::Time now);
+
+  /// L̃_vB(now) for adjacent cluster B = `cluster`.
+  double estimate(int cluster, sim::Time now) const;
+
+  /// Estimates of all adjacent clusters, in the order given at
+  /// construction (matching `clusters()`).
+  std::vector<double> all_estimates(sim::Time now) const;
+
+  const std::vector<int>& clusters() const { return order_; }
+
+  /// Forwards a hardware-rate change to every replica clock.
+  void set_hardware_rate(sim::Time now, double rate);
+
+  /// Aggregate proper-execution violations across replicas.
+  std::uint64_t violations() const;
+
+  ClusterSyncEngine& replica(int cluster);
+
+ private:
+  std::vector<int> order_;
+  std::map<int, std::unique_ptr<ClusterSyncEngine>> replicas_;
+};
+
+}  // namespace ftgcs::core

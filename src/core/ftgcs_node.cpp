@@ -1,0 +1,207 @@
+#include "core/ftgcs_node.h"
+
+#include <limits>
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+namespace {
+
+ClusterSyncConfig engine_config(const Params& p, bool active,
+                                int start_round) {
+  ClusterSyncConfig cfg;
+  cfg.tau1 = p.tau1;
+  cfg.tau2 = p.tau2;
+  cfg.tau3 = p.tau3;
+  cfg.phi = p.phi;
+  cfg.mu = p.mu;
+  cfg.f = p.f;
+  cfg.k = p.k;
+  cfg.active = active;
+  cfg.d = p.d;
+  cfg.U = p.U;
+  cfg.start_round = start_round;
+  return cfg;
+}
+
+}  // namespace
+
+FtGcsNode::FtGcsNode(sim::Simulator& simulator, net::Network& network,
+                     const net::AugmentedTopology& topo, const Params& params,
+                     int node_id, sim::Rng rng, Options options)
+    : sim_(simulator),
+      net_(network),
+      topo_(topo),
+      params_(params),
+      id_(node_id),
+      cluster_(topo.cluster_of(node_id)),
+      options_(options),
+      hardware_(simulator.now(), 0.0, 1.0),
+      engine_(simulator,
+              engine_config(params, /*active=*/true, options.start_round),
+              1.0, rng.fork(1)),
+      estimates_(simulator, engine_config(params, /*active=*/false, 1),
+                 topo.cluster_neighbors(cluster_), 1.0, rng,
+                 options.replica_start_rounds),
+      controller_(params.kappa, params.delta_trig, params.c_global,
+                  options.enable_global_module) {
+  engine_.set_own_index(topo.index_in_cluster(node_id));
+
+  edge_active_.assign(estimates_.clusters().size(), true);
+  for (int inactive : options_.initially_inactive) {
+    set_edge_active(inactive, false);
+  }
+
+  if (!options_.edge_weights.empty()) {
+    FTGCS_EXPECTS(options_.edge_weights.size() ==
+                  estimates_.clusters().size());
+    for (double weight : options_.edge_weights) {
+      edge_kappas_.push_back(weight * params_.kappa);
+      edge_slacks_.push_back(weight * params_.delta_trig);
+    }
+  }
+
+  engine_.on_round_start = [this](int round) { handle_round_start(round); };
+
+  engine_.on_pulse = [this](int /*round*/, sim::Time /*now*/) {
+    if (crashed_) return;
+    net::Pulse pulse;
+    pulse.sender = id_;
+    pulse.kind = net::PulseKind::kClusterPulse;
+    net_.broadcast(id_, pulse);
+  };
+
+  if (options_.enable_global_module) {
+    MaxEstimator::Config cfg;
+    cfg.d = params_.d;
+    cfg.U = params_.U;
+    cfg.rho = params_.rho;
+    cfg.f = params_.f;
+    max_estimator_ = std::make_unique<MaxEstimator>(simulator, cfg, 1.0);
+    max_estimator_->on_emit = [this](int level) {
+      if (crashed_) return;
+      net::Pulse pulse;
+      pulse.sender = id_;
+      pulse.kind = net::PulseKind::kMaxLevel;
+      pulse.level = level;
+      net_.broadcast(id_, pulse);
+    };
+  }
+}
+
+void FtGcsNode::start() {
+  engine_.start();
+  estimates_.start();
+  if (max_estimator_) max_estimator_->start();
+}
+
+double FtGcsNode::max_estimate(sim::Time now) const {
+  return max_estimator_ ? max_estimator_->read(now)
+                        : -std::numeric_limits<double>::infinity();
+}
+
+void FtGcsNode::handle_round_start(int round) {
+  const sim::Time now = sim_.now();
+  // Algorithm 2: evaluate the triggers on the node's own logical clock
+  // (its stand-in for the cluster clock) and its estimates of adjacent
+  // cluster clocks; pick γ_v for the entire round.
+  const double self = engine_.clock().read(now);
+  if (max_estimator_) max_estimator_->observe_own_clock(self, now);
+  // Only estimates of currently-active edges are considered by the
+  // triggers (all edges active unless the dynamic-topology API is used).
+  std::vector<double> ests;
+  std::vector<double> kappas;
+  std::vector<double> slacks;
+  const bool weighted = !edge_kappas_.empty();
+  const auto& adjacent = estimates_.clusters();
+  ests.reserve(adjacent.size());
+  for (std::size_t i = 0; i < adjacent.size(); ++i) {
+    if (!edge_active_[i]) continue;
+    ests.push_back(estimates_.estimate(adjacent[i], now));
+    if (weighted) {
+      kappas.push_back(edge_kappas_[i]);
+      slacks.push_back(edge_slacks_[i]);
+    }
+  }
+  const ModeDecision decision =
+      weighted ? controller_.decide_weighted(self, ests, kappas, slacks,
+                                             max_estimate(now))
+               : controller_.decide(self, ests, max_estimate(now));
+  engine_.clock().set_gamma(now, decision.gamma);
+  last_reason_ = decision.reason;
+  ++mode_counts_[static_cast<std::size_t>(decision.reason)];
+
+  if (on_round_observed) {
+    const double logical_start = engine_.round_start_logical();
+    const sim::Time predicted_pulse =
+        engine_.clock().when_reaches(logical_start + params_.tau1, now);
+    on_round_observed(round, now, predicted_pulse, logical_start);
+  }
+}
+
+void FtGcsNode::on_pulse(const net::Pulse& pulse, sim::Time now) {
+  switch (pulse.kind) {
+    case net::PulseKind::kClusterPulse: {
+      const int sender_cluster = topo_.cluster_of(pulse.sender);
+      const int index = topo_.index_in_cluster(pulse.sender);
+      if (sender_cluster == cluster_) {
+        engine_.on_member_pulse(index, now);
+      } else if (topo_.cluster_graph().has_edge(sender_cluster, cluster_)) {
+        estimates_.on_pulse(sender_cluster, index, now);
+      }
+      break;
+    }
+    case net::PulseKind::kMaxLevel: {
+      if (max_estimator_) {
+        max_estimator_->on_level_pulse(topo_.cluster_of(pulse.sender),
+                                       topo_.index_in_cluster(pulse.sender),
+                                       pulse.sender == id_, pulse.level, now);
+      }
+      break;
+    }
+    case net::PulseKind::kShare:
+    case net::PulseKind::kPropose:
+      break;  // baseline traffic; not part of this protocol
+  }
+}
+
+void FtGcsNode::set_hardware_rate(sim::Time now, double rate) {
+  FTGCS_EXPECTS(rate >= 1.0 && rate <= 1.0 + params_.rho + sim::kTimeEps);
+  hardware_.set_rate(now, rate);
+  engine_.set_hardware_rate(now, rate);
+  estimates_.set_hardware_rate(now, rate);
+  if (max_estimator_) max_estimator_->set_hardware_rate(now, rate);
+}
+
+void FtGcsNode::crash_at(sim::Time t) {
+  sim_.at(t, [this] { crashed_ = true; });
+}
+
+void FtGcsNode::inject_transient_fault_at(sim::Time t, double offset) {
+  sim_.at(t, [this, offset] {
+    engine_.inject_transient_fault(sim_.now(), offset);
+  });
+}
+
+void FtGcsNode::set_edge_active(int cluster, bool active) {
+  const auto& adjacent = estimates_.clusters();
+  for (std::size_t i = 0; i < adjacent.size(); ++i) {
+    if (adjacent[i] == cluster) {
+      edge_active_[i] = active;
+      return;
+    }
+  }
+  FTGCS_EXPECTS(false && "set_edge_active: cluster not adjacent");
+}
+
+bool FtGcsNode::edge_active(int cluster) const {
+  const auto& adjacent = estimates_.clusters();
+  for (std::size_t i = 0; i < adjacent.size(); ++i) {
+    if (adjacent[i] == cluster) return edge_active_[i];
+  }
+  FTGCS_EXPECTS(false && "edge_active: cluster not adjacent");
+  return false;
+}
+
+}  // namespace ftgcs::core

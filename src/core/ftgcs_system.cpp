@@ -1,0 +1,236 @@
+#include "core/ftgcs_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
+    : topo_(std::move(cluster_graph), config.params.k),
+      config_(std::move(config)) {
+  FTGCS_EXPECTS(config_.params.feasible());
+  FTGCS_EXPECTS(config_.fault_plan.max_faults_per_cluster(topo_) <=
+                topo_.cluster_size());
+
+  sim::Rng master(config_.seed);
+
+  auto delays = config_.delay_model
+                    ? std::move(config_.delay_model)
+                    : std::make_unique<net::UniformDelay>(config_.params.d,
+                                                          config_.params.U);
+  network_ = std::make_unique<net::Network>(sim_, topo_.adjacency(),
+                                            std::move(delays), master.fork(1));
+
+  nodes_.resize(topo_.num_nodes());
+  byz_nodes_.reserve(config_.fault_plan.size());
+
+  // Instantiate nodes: Byzantine where the plan says so, correct otherwise.
+  for (int id = 0; id < topo_.num_nodes(); ++id) {
+    const auto& specs = config_.fault_plan.specs();
+    const auto it = std::find_if(
+        specs.begin(), specs.end(),
+        [id](const byz::FaultSpec& s) { return s.node == id; });
+    if (it != specs.end()) {
+      byz::AttackContext ctx;
+      ctx.self = id;
+      ctx.cluster = topo_.cluster_of(id);
+      ctx.index_in_cluster = topo_.index_in_cluster(id);
+      ctx.sim = &sim_;
+      ctx.net = network_.get();
+      ctx.topo = &topo_;
+      ctx.params = &config_.params;
+      ctx.rng = master.fork(1000 + static_cast<std::uint64_t>(id));
+      byz_nodes_.push_back(std::make_unique<byz::ByzantineNode>(
+          std::move(ctx), byz::make_strategy(it->kind, it->param)));
+      byz::ByzantineNode* raw = byz_nodes_.back().get();
+      network_->register_handler(
+          id, [raw](const net::Pulse& pulse, sim::Time now) {
+            raw->on_pulse(pulse, now);
+          });
+    } else {
+      FtGcsNode::Options options;
+      options.enable_global_module = config_.enable_global_module;
+      const auto& offsets = config_.cluster_round_offsets;
+      const int cluster = topo_.cluster_of(id);
+      if (!offsets.empty()) {
+        FTGCS_EXPECTS(static_cast<int>(offsets.size()) ==
+                      topo_.num_clusters());
+        options.start_round = offsets[cluster] + 1;
+        if (config_.replicas_know_offsets) {
+          for (int adjacent : topo_.cluster_neighbors(cluster)) {
+            options.replica_start_rounds.push_back(offsets[adjacent] + 1);
+          }
+        }
+      }
+      for (const auto& [b, c] : config_.initially_inactive_edges) {
+        if (cluster == b) options.initially_inactive.push_back(c);
+        if (cluster == c) options.initially_inactive.push_back(b);
+      }
+      if (!config_.edge_weights.empty()) {
+        for (int adjacent : topo_.cluster_neighbors(cluster)) {
+          double weight = 1.0;
+          for (const auto& [b, c, w] : config_.edge_weights) {
+            if ((b == cluster && c == adjacent) ||
+                (c == cluster && b == adjacent)) {
+              weight = w;
+            }
+          }
+          options.edge_weights.push_back(weight);
+        }
+      }
+      nodes_[id] = std::make_unique<FtGcsNode>(
+          sim_, *network_, topo_, config_.params, id,
+          master.fork(2000 + static_cast<std::uint64_t>(id)), options);
+      ++num_correct_;
+      FtGcsNode* raw = nodes_[id].get();
+      network_->register_handler(
+          id, [raw](const net::Pulse& pulse, sim::Time now) {
+            raw->on_pulse(pulse, now);
+          });
+    }
+  }
+
+  // Give each cluster's Byzantine nodes a reference observation of a
+  // correct member's round schedule (omniscient adversary).
+  for (int c = 0; c < topo_.num_clusters(); ++c) {
+    std::vector<byz::ByzantineNode*> watchers;
+    for (const auto& byz_node : byz_nodes_) {
+      if (topo_.cluster_of(byz_node->id()) == c) {
+        watchers.push_back(byz_node.get());
+      }
+    }
+    if (watchers.empty()) continue;
+    FtGcsNode* reference = nullptr;
+    for (int member : topo_.members(c)) {
+      if (nodes_[member]) {
+        reference = nodes_[member].get();
+        break;
+      }
+    }
+    if (reference == nullptr) continue;  // fully faulty cluster
+    reference->on_round_observed =
+        [watchers](int round, sim::Time round_start,
+                   sim::Time predicted_pulse, double logical_start) {
+          const byz::RoundInfo info{round, round_start, predicted_pulse,
+                                    logical_start};
+          for (byz::ByzantineNode* watcher : watchers) {
+            watcher->on_reference_round(info);
+          }
+        };
+  }
+
+  drift_ = config_.drift_model
+               ? std::move(config_.drift_model)
+               : std::make_unique<clocks::ConstantDrift>(
+                     config_.params.rho, config_.seed ^ 0x5eedULL,
+                     /*spread=*/true);
+}
+
+void FtGcsSystem::start() {
+  FTGCS_EXPECTS(!started_);
+  started_ = true;
+
+  // Drift first, so every clock carries its initial rate before round 1.
+  std::vector<clocks::RateSink> sinks;
+  sinks.reserve(topo_.num_nodes());
+  for (int id = 0; id < topo_.num_nodes(); ++id) {
+    if (nodes_[id]) {
+      FtGcsNode* raw = nodes_[id].get();
+      sinks.push_back([raw](sim::Time now, double rate) {
+        raw->set_hardware_rate(now, rate);
+      });
+    } else {
+      sinks.push_back([](sim::Time, double) {});  // adversary self-governs
+    }
+  }
+  drift_->install(sim_, std::move(sinks));
+
+  for (auto& node : nodes_) {
+    if (node) node->start();
+  }
+  for (auto& byz_node : byz_nodes_) {
+    byz_node->start();
+  }
+}
+
+FtGcsNode& FtGcsSystem::node(int id) {
+  FTGCS_EXPECTS(id >= 0 && id < topo_.num_nodes());
+  FTGCS_EXPECTS(nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+const FtGcsNode& FtGcsSystem::node(int id) const {
+  FTGCS_EXPECTS(id >= 0 && id < topo_.num_nodes());
+  FTGCS_EXPECTS(nodes_[id] != nullptr);
+  return *nodes_[id];
+}
+
+double FtGcsSystem::node_logical(int id) const {
+  return node(id).logical(sim_.now());
+}
+
+std::optional<double> FtGcsSystem::cluster_clock(int cluster) const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  for (int member : topo_.members(cluster)) {
+    if (!nodes_[member] || nodes_[member]->crashed()) continue;
+    const double value = nodes_[member]->logical(sim_.now());
+    if (!any) {
+      lo = hi = value;
+      any = true;
+    } else {
+      lo = std::min(lo, value);
+      hi = std::max(hi, value);
+    }
+  }
+  if (!any) return std::nullopt;
+  return (lo + hi) / 2.0;
+}
+
+SystemSnapshot FtGcsSystem::snapshot() const {
+  SystemSnapshot snap;
+  snap.at = sim_.now();
+  snap.nodes.reserve(topo_.num_nodes());
+  for (int id = 0; id < topo_.num_nodes(); ++id) {
+    SystemSnapshot::NodeState state;
+    state.id = id;
+    state.cluster = topo_.cluster_of(id);
+    // A crashed node is a (benign) faulty node: for the rest of the
+    // system it is equivalent to removing its links (paper §1/App. A).
+    state.correct = nodes_[id] != nullptr && !nodes_[id]->crashed();
+    if (state.correct) {
+      state.logical = nodes_[id]->logical(snap.at);
+      state.gamma = nodes_[id]->gamma();
+    }
+    snap.nodes.push_back(state);
+  }
+  return snap;
+}
+
+void FtGcsSystem::set_edge_active(int b, int c, bool active) {
+  FTGCS_EXPECTS(topo_.cluster_graph().has_edge(b, c));
+  for (int member : topo_.members(b)) {
+    if (nodes_[member]) nodes_[member]->set_edge_active(c, active);
+  }
+  for (int member : topo_.members(c)) {
+    if (nodes_[member]) nodes_[member]->set_edge_active(b, active);
+  }
+}
+
+void FtGcsSystem::schedule_edge_toggle(int b, int c, bool active,
+                                       sim::Time at) {
+  sim_.at(at, [this, b, c, active] { set_edge_active(b, c, active); });
+}
+
+std::uint64_t FtGcsSystem::total_violations() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) {
+    if (node && !node->crashed()) total += node->violations();
+  }
+  return total;
+}
+
+}  // namespace ftgcs::core

@@ -1,0 +1,100 @@
+#include "core/global_skew.h"
+
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+MaxEstimator::MaxEstimator(sim::Simulator& simulator, const Config& cfg,
+                           double initial_hardware_rate)
+    : sim_(simulator),
+      cfg_(cfg),
+      spacing_(cfg.d - cfg.U),
+      rate_(initial_hardware_rate / (1.0 + cfg.rho)) {
+  FTGCS_EXPECTS(cfg.d > 0.0);
+  FTGCS_EXPECTS(cfg.U >= 0.0 && cfg.U < cfg.d);  // spacing must be positive
+  FTGCS_EXPECTS(cfg.rho >= 0.0);
+  FTGCS_EXPECTS(cfg.f >= 0);
+}
+
+void MaxEstimator::start() {
+  FTGCS_EXPECTS(on_emit != nullptr);
+  FTGCS_EXPECTS(!started_);
+  started_ = true;
+  schedule_next_emission(sim_.now());
+}
+
+double MaxEstimator::read(sim::Time now) const {
+  FTGCS_EXPECTS(now >= t0_);
+  return m0_ + rate_ * (now - t0_);
+}
+
+void MaxEstimator::advance(sim::Time now) {
+  m0_ = read(now);
+  t0_ = now;
+}
+
+void MaxEstimator::set_hardware_rate(sim::Time now, double rate) {
+  FTGCS_EXPECTS(rate > 0.0);
+  advance(now);
+  rate_ = rate / (1.0 + cfg_.rho);
+  if (started_) schedule_next_emission(now);
+}
+
+void MaxEstimator::schedule_next_emission(sim::Time now) {
+  if (pending_emit_) sim_.cancel(pending_emit_);
+  const double target = next_level_ * spacing_;
+  const double current = read(now);
+  const sim::Time fire =
+      target <= current ? now : now + (target - current) / rate_;
+  pending_emit_ = sim_.at(fire, [this] {
+    pending_emit_ = sim::EventId{};
+    emit_through(read(sim_.now()));
+    schedule_next_emission(sim_.now());
+  });
+}
+
+void MaxEstimator::emit_through(double value) {
+  while (next_level_ * spacing_ <= value) {
+    on_emit(next_level_);
+    ++next_level_;
+  }
+}
+
+void MaxEstimator::observe_own_clock(double logical, sim::Time now) {
+  advance(now);
+  if (logical <= m0_) return;
+  m0_ = logical;
+  if (started_) {
+    emit_through(m0_);
+    schedule_next_emission(now);
+  }
+}
+
+void MaxEstimator::on_level_pulse(int cluster, int member_index,
+                                  bool from_self, int level, sim::Time now) {
+  if (from_self || level < next_level_ - 1) return;  // stale or no news
+  auto& members = heard_[cluster][level];
+  members.insert(member_index);
+  if (static_cast<int>(members.size()) < cfg_.f + 1) return;
+
+  // f+1 distinct members of one cluster reached level ℓ: at least one is
+  // correct, and its pulse was in transit for ≥ d−U, so
+  // L^max ≥ (ℓ+1)(d−U) already holds — safe to jump.
+  const double candidate = (level + 1) * spacing_;
+  advance(now);
+  if (candidate <= m0_) return;
+  m0_ = candidate;
+  ++jumps_;
+  if (started_) {
+    emit_through(m0_);
+    schedule_next_emission(now);
+  }
+  // Prune state below the new floor to bound memory.
+  for (auto& [cl, levels] : heard_) {
+    levels.erase(levels.begin(), levels.lower_bound(level));
+  }
+}
+
+}  // namespace ftgcs::core

@@ -1,0 +1,89 @@
+// Global-skew control (Appendix C, Lemmas C.1/C.2, Theorem C.3).
+//
+// Each node maintains a conservative estimate M_v of the maximum correct
+// logical clock L^max:
+//
+//  * M_v(0) = 0 and M_v increases at rate h_v/(1+ρ) ≤ 1, so local growth
+//    can never overtake L^max (whose rate is ≥ 1);
+//  * whenever M_v reaches a multiple ℓ·(d−U), v broadcasts a level-ℓ pulse
+//    (distinguishable from the ClusterSync pulses: PulseKind::kMaxLevel);
+//  * when v has registered level-ℓ pulses from f+1 distinct members of one
+//    adjacent cluster, it sets M_v ← max(M_v, (ℓ+1)·(d−U)) and sends out
+//    the pulses it now newly covers — a fault-tolerant flooding that keeps
+//    M_v within O(δ·D) of L^max (Lemma C.2).
+//
+// The catch-up rule (Theorem C.3) — go fast when L_v ≤ M_v − c·δ and no
+// trigger fires — lives in InterclusterController; this class only
+// maintains M_v.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "sim/simulator.h"
+
+namespace ftgcs::core {
+
+class MaxEstimator {
+ public:
+  struct Config {
+    double d = 0.0;    ///< max delay; level spacing is d − U
+    double U = 0.0;    ///< delay uncertainty; requires U < d
+    double rho = 0.0;  ///< drift bound (M grows at h/(1+ρ))
+    int f = 0;         ///< per-cluster fault budget (quorum size f+1)
+  };
+
+  MaxEstimator(sim::Simulator& simulator, const Config& cfg,
+               double initial_hardware_rate);
+
+  /// Begins the level-pulse schedule. Requires on_emit to be set.
+  void start();
+
+  /// M_v(now).
+  double read(sim::Time now) const;
+
+  /// Forwards the node's hardware-rate change (M rate is h/(1+ρ)).
+  void set_hardware_rate(sim::Time now, double rate);
+
+  /// Handles a received level pulse from member `member_index` of
+  /// `cluster`. Own loopback pulses must be filtered by the caller
+  /// (`from_self`): a node's own pulse carries no new information.
+  void on_level_pulse(int cluster, int member_index, bool from_self,
+                      int level, sim::Time now);
+
+  /// Folds the node's own logical clock value into M_v: L_v is always a
+  /// lower bound on L^max, and the flooding argument of Lemma C.2 relies
+  /// on M_w(t) ≥ L_w(t). Called by the owner at round starts.
+  void observe_own_clock(double logical, sim::Time now);
+
+  /// Emission hook: the owner broadcasts a kMaxLevel pulse with `level`.
+  std::function<void(int level)> on_emit;
+
+  std::uint64_t jumps() const { return jumps_; }
+  int highest_level_sent() const { return next_level_ - 1; }
+
+ private:
+  void advance(sim::Time now);
+  void schedule_next_emission(sim::Time now);
+  void emit_through(double value);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  double spacing_;  ///< d − U
+
+  sim::Time t0_ = 0.0;
+  double m0_ = 0.0;
+  double rate_;
+
+  int next_level_ = 1;  ///< next level to emit
+  sim::EventId pending_emit_{};
+
+  /// cluster -> level -> distinct member indices heard.
+  std::map<int, std::map<int, std::set<int>>> heard_;
+  std::uint64_t jumps_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ftgcs::core

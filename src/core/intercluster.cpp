@@ -1,0 +1,69 @@
+#include "core/intercluster.h"
+
+#include "support/assert.h"
+
+namespace ftgcs::core {
+
+InterclusterController::InterclusterController(double kappa, double slack,
+                                               double c_global,
+                                               bool use_global_module)
+    : kappa_(kappa),
+      slack_(slack),
+      c_global_(c_global),
+      use_global_module_(use_global_module) {
+  FTGCS_EXPECTS(kappa > 0.0);
+  FTGCS_EXPECTS(slack >= 0.0);
+  // Lemma 4.5: triggers are mutually exclusive only for δ < 2κ.
+  FTGCS_EXPECTS(slack < 2.0 * kappa);
+}
+
+ModeDecision InterclusterController::decide_weighted(
+    double self, std::span<const double> estimates,
+    std::span<const double> kappas, std::span<const double> slacks,
+    double max_estimate) const {
+  if (estimates.empty()) {
+    if (use_global_module_ && self <= max_estimate - c_global_ * slack_) {
+      return {1, ModeReason::kMaxCatchUp};
+    }
+    return {0, ModeReason::kDefaultSlow};
+  }
+  const WeightedTriggerView view{self, estimates, kappas, slacks};
+  if (weighted_fast_trigger(view)) {
+    return {1, ModeReason::kFastTrigger};
+  }
+  if (weighted_slow_trigger(view)) {
+    return {0, ModeReason::kSlowTrigger};
+  }
+  if (use_global_module_ && self <= max_estimate - c_global_ * slack_) {
+    return {1, ModeReason::kMaxCatchUp};
+  }
+  return {0, ModeReason::kDefaultSlow};
+}
+
+ModeDecision InterclusterController::decide(
+    double self, std::span<const double> estimates,
+    double max_estimate) const {
+  if (estimates.empty()) {
+    // Isolated cluster: no gradient constraints; stay slow unless the
+    // global module demands catch-up.
+    if (use_global_module_ &&
+        self <= max_estimate - c_global_ * slack_) {
+      return {1, ModeReason::kMaxCatchUp};
+    }
+    return {0, ModeReason::kDefaultSlow};
+  }
+
+  const TriggerView view{self, estimates};
+  if (fast_trigger(view, kappa_, slack_)) {
+    return {1, ModeReason::kFastTrigger};
+  }
+  if (slow_trigger(view, kappa_, slack_)) {
+    return {0, ModeReason::kSlowTrigger};
+  }
+  if (use_global_module_ && self <= max_estimate - c_global_ * slack_) {
+    return {1, ModeReason::kMaxCatchUp};
+  }
+  return {0, ModeReason::kDefaultSlow};
+}
+
+}  // namespace ftgcs::core

@@ -1,0 +1,31 @@
+// ftgcs — Fault Tolerant Gradient Clock Synchronization.
+//
+// Umbrella header for the public API. The library implements the
+// construction of Bund, Lenzen & Rosenbaum (PODC 2019): Lynch–Welch
+// synchronization inside clusters of k = 3f+1 nodes composed with the
+// gradient clock synchronization algorithm across clusters, achieving
+// local skew O((ρ·d + U)·log D) under f Byzantine faults per cluster.
+//
+// Typical use:
+//
+//   auto params = ftgcs::core::Params::practical(rho, d, U, f);
+//   ftgcs::core::FtGcsSystem::Config config;
+//   config.params = params;
+//   ftgcs::core::FtGcsSystem system(ftgcs::net::Graph::grid(4, 4),
+//                                   std::move(config));
+//   system.start();
+//   system.run_until(horizon);
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// reproduction record.
+#pragma once
+
+#include "byz/fault_plan.h"      // fault placement + attack strategies
+#include "byz/strategies.h"      // StrategyKind
+#include "clocks/drift_model.h"  // hardware drift adversaries
+#include "core/ftgcs_system.h"   // the system builder (main entry point)
+#include "core/params.h"         // parameter derivation + feasibility
+#include "gcs/gcs_system.h"      // plain (non-FT) GCS baseline
+#include "metrics/skew_tracker.h"  // ground-truth skew measurement
+#include "net/channel.h"         // delay models
+#include "net/graph.h"           // topology generators

@@ -1,0 +1,109 @@
+// Non-fault-tolerant GCS baseline — the algorithm of Lenzen, Locher &
+// Wattenhofer [13] (in the trigger formulation of [10]) on a *plain* graph.
+//
+// This is the algorithm the paper renders fault-tolerant. It serves two
+// purposes here:
+//  (1) fault-free reference: local skew Θ(log D) on lines/rings;
+//  (2) the motivating negative result (§1: "The GCS algorithm utterly
+//      fails in face of non-benign faults"): a single Byzantine node that
+//      advertises different clock values to different neighbors tears the
+//      logical clocks of correct nodes apart (experiment E8).
+//
+// Estimation model: every node broadcasts a timestamped share of its
+// logical clock every `broadcast_period` (logical time). A receiver
+// estimates the neighbor's clock as
+//     L̃_w(t) = L_w(t_recv)^(msg) + (d − U/2) + (H_v(t) − H_v(t_recv)),
+// i.e., it advances the received timestamp with its own hardware clock and
+// compensates the expected delay. The estimate error is at most
+//     ε = U/2 + (ϑ̂ − 1)·(d + P)   with ϑ̂ = (1+ρ)(1+µ), P the period —
+// the trigger slack δ is set to 2ε and κ = 3δ (mirroring Lemma 4.8).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "clocks/hardware_clock.h"
+#include "clocks/logical_clock.h"
+#include "clocks/logical_timer.h"
+#include "core/triggers.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::gcs {
+
+struct GcsParams {
+  /// Mode rule. kTrigger is the Θ(log D) algorithm of [13]/[10];
+  /// kOblivious is the O(√D) predecessor of Locher & Wattenhofer [15]:
+  /// run fast whenever some neighbor is ahead, unless some neighbor lags
+  /// more than the blocking threshold B (≈ √D̂·κ).
+  enum class Rule { kTrigger, kOblivious };
+
+  double rho = 0.0;
+  double d = 0.0;
+  double U = 0.0;
+  double mu = 0.0;               ///< fast-mode speedup
+  double broadcast_period = 0.0; ///< logical time between shares
+  double slack = 0.0;            ///< trigger slack δ
+  double kappa = 0.0;            ///< level unit κ
+  Rule rule = Rule::kTrigger;
+  double blocking = 0.0;         ///< B (kOblivious only)
+
+  /// Derives slack/κ from the estimate-error analysis above.
+  static GcsParams derive(double rho, double d, double U, double mu,
+                          double broadcast_period);
+
+  /// Same, for the oblivious rule with diameter hint `diameter`.
+  static GcsParams derive_oblivious(double rho, double d, double U, double mu,
+                                    double broadcast_period, int diameter);
+
+  /// Estimate error bound ε.
+  double estimate_error() const;
+};
+
+class GcsNode {
+ public:
+  GcsNode(sim::Simulator& simulator, net::Network& network,
+          const GcsParams& params, int node_id,
+          const std::vector<int>& neighbors);
+
+  void start();
+
+  void on_pulse(const net::Pulse& pulse, sim::Time now);
+
+  /// Drift sink.
+  void set_hardware_rate(sim::Time now, double rate);
+
+  double logical(sim::Time now) const { return clock_.read(now); }
+  int gamma() const { return clock_.gamma(); }
+
+  /// Current estimate of neighbor `w`'s logical clock (nullopt before the
+  /// first share arrives).
+  std::optional<double> estimate(int w, sim::Time now) const;
+
+ private:
+  void broadcast_share(sim::Time now);
+  void evaluate_triggers(sim::Time now);
+  void arm_next(double logical_target);
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  GcsParams params_;
+  int id_;
+  std::vector<int> neighbors_;
+
+  clocks::HardwareClock hardware_;
+  clocks::LogicalClock clock_;
+  clocks::LogicalTimerSet timers_;
+
+  struct Neighbor {
+    double value = 0.0;      ///< timestamp from the last share
+    double hardware_at = 0.0;///< H_v at reception
+    bool seen = false;
+  };
+  std::vector<Neighbor> last_share_;  ///< parallel to neighbors_
+  double next_tick_ = 0.0;
+};
+
+}  // namespace ftgcs::gcs

@@ -1,0 +1,115 @@
+#include "metrics/skew_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.h"
+
+namespace ftgcs::metrics {
+
+SkewSample measure_skews(const core::SystemSnapshot& snapshot,
+                         const net::AugmentedTopology& topo) {
+  SkewSample out;
+  out.at = snapshot.at;
+
+  const auto& nodes = snapshot.nodes;
+
+  // Cluster clocks L_C = (L⁺ + L⁻)/2 over correct members, plus global
+  // node-level extremes.
+  const int clusters = topo.num_clusters();
+  std::vector<double> cluster_lo(clusters,
+                                 std::numeric_limits<double>::infinity());
+  std::vector<double> cluster_hi(clusters,
+                                 -std::numeric_limits<double>::infinity());
+  double global_lo = std::numeric_limits<double>::infinity();
+  double global_hi = -std::numeric_limits<double>::infinity();
+  for (const auto& node : nodes) {
+    if (!node.correct) continue;
+    cluster_lo[node.cluster] = std::min(cluster_lo[node.cluster], node.logical);
+    cluster_hi[node.cluster] = std::max(cluster_hi[node.cluster], node.logical);
+    global_lo = std::min(global_lo, node.logical);
+    global_hi = std::max(global_hi, node.logical);
+  }
+  out.node_global = global_hi >= global_lo ? global_hi - global_lo : 0.0;
+
+  std::vector<double> cluster_clock(clusters);
+  std::vector<bool> cluster_alive(clusters, false);
+  double cg_lo = std::numeric_limits<double>::infinity();
+  double cg_hi = -std::numeric_limits<double>::infinity();
+  for (int c = 0; c < clusters; ++c) {
+    if (cluster_hi[c] >= cluster_lo[c]) {
+      cluster_alive[c] = true;
+      cluster_clock[c] = (cluster_lo[c] + cluster_hi[c]) / 2.0;
+      cg_lo = std::min(cg_lo, cluster_clock[c]);
+      cg_hi = std::max(cg_hi, cluster_clock[c]);
+      out.intra_cluster =
+          std::max(out.intra_cluster, cluster_hi[c] - cluster_lo[c]);
+    }
+  }
+  out.cluster_global = cg_hi >= cg_lo ? cg_hi - cg_lo : 0.0;
+
+  // Cluster-local skew over E.
+  const net::Graph& g = topo.cluster_graph();
+  for (int b = 0; b < clusters; ++b) {
+    if (!cluster_alive[b]) continue;
+    for (int c : g.neighbors(b)) {
+      if (c < b || !cluster_alive[c]) continue;
+      out.cluster_local = std::max(
+          out.cluster_local, std::abs(cluster_clock[b] - cluster_clock[c]));
+    }
+  }
+
+  // Node-local skew over augmented edges between correct nodes. Cluster
+  // edges are covered by intra-cluster extremes; intercluster edges need
+  // the pairwise extremes of adjacent clusters.
+  out.node_local = out.intra_cluster;
+  for (int b = 0; b < clusters; ++b) {
+    if (!cluster_alive[b]) continue;
+    for (int c : g.neighbors(b)) {
+      if (c < b || !cluster_alive[c]) continue;
+      const double spread =
+          std::max(std::abs(cluster_hi[b] - cluster_lo[c]),
+                   std::abs(cluster_hi[c] - cluster_lo[b]));
+      out.node_local = std::max(out.node_local, spread);
+    }
+  }
+  return out;
+}
+
+SkewProbe::SkewProbe(core::FtGcsSystem& system, sim::Duration interval,
+                     sim::Time steady_after)
+    : system_(system), interval_(interval), steady_after_(steady_after) {
+  FTGCS_EXPECTS(interval > 0.0);
+}
+
+void SkewProbe::start() {
+  system_.simulator().after(interval_, [this] { sample_once(); });
+}
+
+namespace {
+
+void fold_max(SkewSample& into, const SkewSample& sample) {
+  into.at = sample.at;
+  into.node_local = std::max(into.node_local, sample.node_local);
+  into.cluster_local = std::max(into.cluster_local, sample.cluster_local);
+  into.intra_cluster = std::max(into.intra_cluster, sample.intra_cluster);
+  into.node_global = std::max(into.node_global, sample.node_global);
+  into.cluster_global = std::max(into.cluster_global, sample.cluster_global);
+}
+
+}  // namespace
+
+void SkewProbe::sample_once() {
+  const SkewSample sample =
+      measure_skews(system_.snapshot(), system_.topology());
+  samples_.push_back(sample);
+  fold_max(overall_max_, sample);
+  if (sample.at >= steady_after_) {
+    fold_max(steady_max_, sample);
+    ++steady_samples_;
+  }
+  system_.simulator().after(interval_, [this] { sample_once(); });
+}
+
+}  // namespace ftgcs::metrics

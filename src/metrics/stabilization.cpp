@@ -1,0 +1,30 @@
+#include "metrics/stabilization.h"
+
+#include "support/assert.h"
+
+namespace ftgcs::metrics {
+
+void StabilizationTracker::add(sim::Time at, double value) {
+  FTGCS_EXPECTS(series_.empty() || at >= series_.back().first);
+  series_.emplace_back(at, value);
+}
+
+std::optional<sim::Time> StabilizationTracker::stabilized_at() const {
+  if (series_.empty()) return std::nullopt;
+  // Walk backwards: find the suffix that is entirely within the band.
+  std::optional<sim::Time> first_good;
+  for (auto it = series_.rbegin(); it != series_.rend(); ++it) {
+    if (it->second > threshold_) break;
+    first_good = it->first;
+  }
+  return first_good;
+}
+
+std::optional<sim::Duration> StabilizationTracker::stabilization_delay(
+    sim::Time t0) const {
+  const auto at = stabilized_at();
+  if (!at) return std::nullopt;
+  return *at - t0;
+}
+
+}  // namespace ftgcs::metrics

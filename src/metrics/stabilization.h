@@ -1,0 +1,37 @@
+// Stabilization measurement: the time at which a sampled quantity enters
+// a band and stays there for the rest of the horizon. Used for the
+// dynamic-topology experiments (paper App. A: new edges stabilize to the
+// gradient bound within O(S/µ) time).
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/time_types.h"
+
+namespace ftgcs::metrics {
+
+class StabilizationTracker {
+ public:
+  /// Tracks samples (t, value); stabilization = first sample time after
+  /// which every later sample satisfies value <= threshold.
+  explicit StabilizationTracker(double threshold) : threshold_(threshold) {}
+
+  void add(sim::Time at, double value);
+
+  /// First time from which the series stayed at or below the threshold
+  /// through the last sample; nullopt if it never did (or no samples).
+  std::optional<sim::Time> stabilized_at() const;
+
+  /// Convenience: stabilized_at() − t0 (e.g. the edge-activation time).
+  std::optional<sim::Duration> stabilization_delay(sim::Time t0) const;
+
+  std::size_t samples() const { return series_.size(); }
+
+ private:
+  double threshold_;
+  std::vector<std::pair<sim::Time, double>> series_;
+};
+
+}  // namespace ftgcs::metrics

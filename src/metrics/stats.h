@@ -1,0 +1,32 @@
+// Small statistics helpers used by probes and experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ftgcs::metrics {
+
+/// Streaming min/max/mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n−1)
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation); q in [0, 1].
+double percentile(std::vector<double> values, double q);
+
+}  // namespace ftgcs::metrics

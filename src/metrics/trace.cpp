@@ -1,0 +1,56 @@
+#include "metrics/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace ftgcs::metrics {
+
+void PulseDiameterTrace::record_pulse(int round, sim::Time at) {
+  FTGCS_EXPECTS(round >= 1);
+  auto& agg = rounds_[round];
+  if (agg.count == 0) {
+    agg.min = agg.max = at;
+  } else {
+    agg.min = std::min(agg.min, at);
+    agg.max = std::max(agg.max, at);
+  }
+  ++agg.count;
+}
+
+std::optional<double> PulseDiameterTrace::diameter(int round) const {
+  const auto it = rounds_.find(round);
+  if (it == rounds_.end() || it->second.count < 2) return std::nullopt;
+  return it->second.max - it->second.min;
+}
+
+int PulseDiameterTrace::last_round() const {
+  return rounds_.empty() ? 0 : rounds_.rbegin()->first;
+}
+
+std::vector<std::pair<int, double>> PulseDiameterTrace::complete_rounds()
+    const {
+  std::vector<std::pair<int, double>> out;
+  for (const auto& [round, agg] : rounds_) {
+    if (agg.count == expected_members_) {
+      out.emplace_back(round, agg.max - agg.min);
+    }
+  }
+  return out;
+}
+
+void CorrectionTrace::record(int round, double delta_corr, bool violated) {
+  const double magnitude = std::abs(delta_corr);
+  auto [it, inserted] = max_abs_.emplace(round, magnitude);
+  if (!inserted) it->second = std::max(it->second, magnitude);
+  global_max_ = std::max(global_max_, magnitude);
+  if (violated) ++violations_;
+}
+
+double CorrectionTrace::max_abs_correction(int round) const {
+  const auto it = max_abs_.find(round);
+  return it == max_abs_.end() ? 0.0 : it->second;
+}
+
+}  // namespace ftgcs::metrics

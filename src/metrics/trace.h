@@ -1,0 +1,61 @@
+// Round-level traces of the cluster algorithm: per-round pulse diameters
+// ‖p(r)‖ (Definition B.7), corrections ∆_v(r), and violation counts.
+// Experiments use these to reproduce the convergence claims (E2, E3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "sim/time_types.h"
+
+namespace ftgcs::metrics {
+
+/// Collects the Newtonian pulse times of one cluster's correct members and
+/// reports ‖p(r)‖ = max p(r) − min p(r) per round.
+class PulseDiameterTrace {
+ public:
+  explicit PulseDiameterTrace(int expected_members)
+      : expected_members_(expected_members) {}
+
+  void record_pulse(int round, sim::Time at);
+
+  /// ‖p(r)‖, available once at least two members pulsed in round r.
+  std::optional<double> diameter(int round) const;
+
+  /// Largest round with any recorded pulse (0 if none).
+  int last_round() const;
+
+  /// Diameters for rounds 1..last_round() with all members present;
+  /// rounds with missing members are skipped.
+  std::vector<std::pair<int, double>> complete_rounds() const;
+
+ private:
+  struct RoundAgg {
+    sim::Time min = 0.0;
+    sim::Time max = 0.0;
+    int count = 0;
+  };
+
+  int expected_members_;
+  std::map<int, RoundAgg> rounds_;
+};
+
+/// Per-round correction statistics across one cluster.
+class CorrectionTrace {
+ public:
+  void record(int round, double delta_corr, bool violated);
+
+  std::uint64_t violations() const { return violations_; }
+  /// Maximum |∆| seen in round r (0 if none).
+  double max_abs_correction(int round) const;
+  double global_max_abs_correction() const { return global_max_; }
+
+ private:
+  std::map<int, double> max_abs_;
+  std::uint64_t violations_ = 0;
+  double global_max_ = 0.0;
+};
+
+}  // namespace ftgcs::metrics

@@ -1,0 +1,50 @@
+#include "net/augmented.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::net {
+
+AugmentedTopology::AugmentedTopology(Graph g, int k)
+    : cluster_graph_(std::move(g)), k_(k) {
+  FTGCS_EXPECTS(k >= 1);
+  const int clusters = cluster_graph_.num_vertices();
+  adj_.resize(static_cast<std::size_t>(clusters) * k_);
+  members_.resize(clusters);
+
+  for (int c = 0; c < clusters; ++c) {
+    members_[c].reserve(k_);
+    for (int i = 0; i < k_; ++i) members_[c].push_back(node(c, i));
+  }
+
+  // Cluster edges: full clique inside each cluster.
+  for (int c = 0; c < clusters; ++c) {
+    for (int i = 0; i < k_; ++i) {
+      for (int j = 0; j < k_; ++j) {
+        if (i == j) continue;
+        adj_[node(c, i)].push_back(node(c, j));
+      }
+    }
+    num_edges_ += static_cast<std::size_t>(k_) * (k_ - 1) / 2;
+  }
+
+  // Intercluster edges: complete bipartite between adjacent clusters.
+  for (int b = 0; b < clusters; ++b) {
+    for (int c : cluster_graph_.neighbors(b)) {
+      for (int i = 0; i < k_; ++i) {
+        for (int j = 0; j < k_; ++j) {
+          adj_[node(b, i)].push_back(node(c, j));
+        }
+      }
+      if (b < c) num_edges_ += static_cast<std::size_t>(k_) * k_;
+    }
+  }
+}
+
+const std::vector<int>& AugmentedTopology::members(int cluster) const {
+  FTGCS_EXPECTS(cluster >= 0 && cluster < num_clusters());
+  return members_[cluster];
+}
+
+}  // namespace ftgcs::net

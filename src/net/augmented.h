@@ -1,0 +1,54 @@
+// Augmented graph G = (V, E) from the paper (§2, "Network"):
+// every cluster C ∈ C becomes a clique of k nodes; every cluster edge
+// (B, C) ∈ E becomes a complete bipartite graph between the two cliques.
+//
+// Node ids are flat: node(c, i) = c*k + i for cluster c and member index i.
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace ftgcs::net {
+
+class AugmentedTopology {
+ public:
+  /// Builds G from cluster graph `g` with cluster size `k` (paper requires
+  /// k >= 3f+1; enforced by core::Params, not here, so degenerate
+  /// configurations remain testable).
+  AugmentedTopology(Graph g, int k);
+
+  int num_clusters() const { return cluster_graph_.num_vertices(); }
+  int cluster_size() const { return k_; }
+  int num_nodes() const { return num_clusters() * k_; }
+
+  /// Undirected edge count of G (cluster cliques + bipartite bundles).
+  std::size_t num_edges() const { return num_edges_; }
+
+  int cluster_of(int node) const { return node / k_; }
+  int index_in_cluster(int node) const { return node % k_; }
+  int node(int cluster, int index) const { return cluster * k_ + index; }
+
+  /// Node ids of the members of `cluster`.
+  const std::vector<int>& members(int cluster) const;
+
+  /// Clusters adjacent to `cluster` in G.
+  const std::vector<int>& cluster_neighbors(int cluster) const {
+    return cluster_graph_.neighbors(cluster);
+  }
+
+  /// Node-level adjacency of G (no self-loops; the network layer adds the
+  /// loopback delivery for a node's own broadcast).
+  const std::vector<std::vector<int>>& adjacency() const { return adj_; }
+
+  const Graph& cluster_graph() const { return cluster_graph_; }
+
+ private:
+  Graph cluster_graph_;
+  int k_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<std::vector<int>> members_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ftgcs::net

@@ -1,0 +1,49 @@
+#include "net/channel.h"
+
+#include "support/assert.h"
+
+namespace ftgcs::net {
+
+DelayModel::DelayModel(sim::Duration d, sim::Duration u) : d_(d), u_(u) {
+  FTGCS_EXPECTS(d > 0.0);
+  FTGCS_EXPECTS(u >= 0.0 && u <= d);
+}
+
+sim::Duration UniformDelay::sample(int /*from*/, int /*to*/,
+                                   sim::Rng& rng) const {
+  return rng.uniform(d_ - u_, d_);
+}
+
+FixedDelay::FixedDelay(sim::Duration d, sim::Duration u, double fraction)
+    : DelayModel(d, u), fraction_(fraction) {
+  FTGCS_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+}
+
+sim::Duration FixedDelay::sample(int /*from*/, int /*to*/,
+                                 sim::Rng& /*rng*/) const {
+  return d_ - u_ * (1.0 - fraction_);
+}
+
+sim::Duration TwoPointDelay::sample(int /*from*/, int /*to*/,
+                                    sim::Rng& rng) const {
+  return rng.chance(0.5) ? d_ - u_ : d_;
+}
+
+sim::Duration DirectionalDelay::sample(int from, int to,
+                                       sim::Rng& /*rng*/) const {
+  return from < to ? d_ : d_ - u_;
+}
+
+ClassedDelay::ClassedDelay(sim::Duration d, sim::Duration u,
+                           int cluster_size)
+    : DelayModel(d, u), cluster_size_(cluster_size) {
+  FTGCS_EXPECTS(cluster_size >= 1);
+}
+
+sim::Duration ClassedDelay::sample(int from, int to, sim::Rng& rng) const {
+  const bool same_cluster = from / cluster_size_ == to / cluster_size_;
+  return same_cluster ? rng.uniform(d_ - u_, d_ - u_ / 2.0)
+                      : rng.uniform(d_ - u_ / 2.0, d_);
+}
+
+}  // namespace ftgcs::net

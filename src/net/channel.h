@@ -1,0 +1,84 @@
+// Message-delay models.
+//
+// The model (paper §2, "Communication") says a pulse sent at time p arrives
+// at each neighbor at some time in [p + d − U, p + d]; within that interval
+// the adversary chooses. DelayModel implementations realize different
+// adversary strategies; all must return values in [d − U, d].
+#pragma once
+
+#include <memory>
+
+#include "sim/rng.h"
+#include "sim/time_types.h"
+
+namespace ftgcs::net {
+
+class DelayModel {
+ public:
+  DelayModel(sim::Duration d, sim::Duration u);
+  virtual ~DelayModel() = default;
+
+  sim::Duration max_delay() const { return d_; }
+  sim::Duration uncertainty() const { return u_; }
+  sim::Duration min_delay() const { return d_ - u_; }
+
+  /// Delay for one message from `from` to `to`; must lie in [d − U, d].
+  /// `rng` is the per-directed-edge stream.
+  virtual sim::Duration sample(int from, int to, sim::Rng& rng) const = 0;
+
+ protected:
+  sim::Duration d_;
+  sim::Duration u_;
+};
+
+/// Uniform over [d − U, d]; the "benign random" adversary.
+class UniformDelay final : public DelayModel {
+ public:
+  using DelayModel::DelayModel;
+  sim::Duration sample(int from, int to, sim::Rng& rng) const override;
+};
+
+/// Deterministic d − U·(1 − fraction); fraction = 1 gives max delay d,
+/// fraction = 0 gives min delay d − U.
+class FixedDelay final : public DelayModel {
+ public:
+  FixedDelay(sim::Duration d, sim::Duration u, double fraction);
+  sim::Duration sample(int from, int to, sim::Rng& rng) const override;
+
+ private:
+  double fraction_;
+};
+
+/// Each message independently gets either the minimum or maximum delay —
+/// the worst case for midpoint-style delay compensation.
+class TwoPointDelay final : public DelayModel {
+ public:
+  using DelayModel::DelayModel;
+  sim::Duration sample(int from, int to, sim::Rng& rng) const override;
+};
+
+/// Directionally biased: messages from lower to higher node id travel at
+/// the maximum delay, the reverse direction at the minimum. Maximizes the
+/// systematic estimation error between a pair of nodes.
+class DirectionalDelay final : public DelayModel {
+ public:
+  using DelayModel::DelayModel;
+  sim::Duration sample(int from, int to, sim::Rng& rng) const override;
+};
+
+/// Class-dependent delays (e.g. a NoC whose in-cluster wires are short):
+/// links within a cluster draw from the fast half [d−U, d−U/2], links
+/// between clusters from the slow half [d−U/2, d]. Still within the
+/// paper's model (every delay in [d−U, d]); stresses the systematic
+/// offset between the intra- and inter-cluster estimates.
+class ClassedDelay final : public DelayModel {
+ public:
+  /// `cluster_size` partitions flat node ids into clusters of equal size.
+  ClassedDelay(sim::Duration d, sim::Duration u, int cluster_size);
+  sim::Duration sample(int from, int to, sim::Rng& rng) const override;
+
+ private:
+  int cluster_size_;
+};
+
+}  // namespace ftgcs::net

@@ -1,0 +1,89 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::net {
+
+Network::Network(sim::Simulator& simulator,
+                 std::vector<std::vector<int>> adjacency,
+                 std::unique_ptr<DelayModel> delays, sim::Rng rng)
+    : sim_(simulator),
+      adjacency_(std::move(adjacency)),
+      delays_(std::move(delays)),
+      handlers_(adjacency_.size()) {
+  FTGCS_EXPECTS(delays_ != nullptr);
+  edge_streams_.reserve(adjacency_.size());
+  loopback_streams_.reserve(adjacency_.size());
+  std::uint64_t salt = 0;
+  for (const auto& neighbors : adjacency_) {
+    std::vector<sim::Rng> streams;
+    streams.reserve(neighbors.size());
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      streams.push_back(rng.fork(++salt));
+    }
+    edge_streams_.push_back(std::move(streams));
+    loopback_streams_.push_back(rng.fork(++salt));
+  }
+}
+
+void Network::register_handler(int node, Handler handler) {
+  FTGCS_EXPECTS(node >= 0 && node < num_nodes());
+  FTGCS_EXPECTS(handler != nullptr);
+  handlers_[node] = std::move(handler);
+}
+
+const std::vector<int>& Network::neighbors(int node) const {
+  FTGCS_EXPECTS(node >= 0 && node < num_nodes());
+  return adjacency_[node];
+}
+
+bool Network::are_neighbors(int a, int b) const {
+  const auto& nb = neighbors(a);
+  return std::find(nb.begin(), nb.end(), b) != nb.end();
+}
+
+sim::Rng& Network::edge_rng(int from, int to) {
+  if (from == to) return loopback_streams_[from];
+  const auto& nb = adjacency_[from];
+  const auto it = std::find(nb.begin(), nb.end(), to);
+  FTGCS_EXPECTS(it != nb.end());
+  return edge_streams_[from][static_cast<std::size_t>(it - nb.begin())];
+}
+
+void Network::deliver(int from, int to, const Pulse& pulse,
+                      sim::Duration delay) {
+  (void)from;
+  FTGCS_EXPECTS(delay >= delays_->min_delay() - sim::kTimeEps &&
+                delay <= delays_->max_delay() + sim::kTimeEps);
+  ++messages_sent_;
+  sim_.after(delay, [this, to, pulse] {
+    ++messages_delivered_;
+    FTGCS_ASSERT(handlers_[to] != nullptr);
+    handlers_[to](pulse, sim_.now());
+  });
+}
+
+void Network::broadcast(int from, const Pulse& pulse) {
+  FTGCS_EXPECTS(from >= 0 && from < num_nodes());
+  FTGCS_EXPECTS(pulse.sender == from);
+  deliver(from, from, pulse, delays_->sample(from, from, edge_rng(from, from)));
+  for (int to : adjacency_[from]) {
+    deliver(from, to, pulse, delays_->sample(from, to, edge_rng(from, to)));
+  }
+}
+
+void Network::unicast(int from, int to, const Pulse& pulse) {
+  FTGCS_EXPECTS(from == to || are_neighbors(from, to));
+  deliver(from, to, pulse, delays_->sample(from, to, edge_rng(from, to)));
+}
+
+void Network::unicast_with_delay(int from, int to, const Pulse& pulse,
+                                 sim::Duration delay) {
+  FTGCS_EXPECTS(from == to || are_neighbors(from, to));
+  deliver(from, to, pulse, delay);
+}
+
+}  // namespace ftgcs::net

@@ -1,0 +1,95 @@
+// Message dispatch over a fixed topology.
+//
+// Correct nodes broadcast: one send delivers an independent copy to every
+// neighbor (and to the sender itself — the loopback used by Lynch–Welch
+// style algorithms to timestamp their own pulse), each copy delayed by the
+// channel's DelayModel within [d − U, d].
+//
+// Byzantine nodes are NOT required to broadcast (paper §2, "Faults"): they
+// may unicast different pulses to different neighbors at arbitrary times,
+// and may choose the delay within the legal interval (the physical channel
+// still bounds transit time; a Byzantine node controls *when* it sends,
+// which composes with delay choice to arbitrary arrival times — we expose
+// arrival-time control directly for convenience of attack strategies).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/channel.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::net {
+
+/// Message kinds. The paper's pulses are content-less; kinds let one
+/// physical network carry the cluster-sync pulses, the global-skew module's
+/// level pulses, and the timestamped shares used by the plain-GCS baseline.
+enum class PulseKind : std::uint8_t {
+  kClusterPulse,  ///< Algorithm 1 round pulse (content-less)
+  kMaxLevel,      ///< Appendix C M_v threshold pulse; `level` is the payload
+  kShare,         ///< baseline: logical-clock timestamp in `value`
+  kPropose,       ///< baseline (Srikanth–Toueg): PROPOSE(round = `level`)
+};
+
+struct Pulse {
+  int sender = -1;
+  PulseKind kind = PulseKind::kClusterPulse;
+  int level = 0;       ///< kMaxLevel payload
+  double value = 0.0;  ///< kShare payload
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Pulse&, sim::Time)>;
+
+  /// `adjacency[v]` lists v's neighbors (no self-loops). The network adds
+  /// loopback delivery on broadcast. One RNG stream per directed edge is
+  /// forked from `rng`.
+  Network(sim::Simulator& simulator, std::vector<std::vector<int>> adjacency,
+          std::unique_ptr<DelayModel> delays, sim::Rng rng);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Installs the receive handler for `node`. Must be set before any
+  /// message can be delivered to it.
+  void register_handler(int node, Handler handler);
+
+  /// Correct-node broadcast: delivers to all neighbors and to self.
+  void broadcast(int from, const Pulse& pulse);
+
+  /// Point-to-point send with channel-sampled delay. `to` must be a
+  /// neighbor of `from` (or `from` itself).
+  void unicast(int from, int to, const Pulse& pulse);
+
+  /// Byzantine-only: point-to-point send with caller-chosen delay. The
+  /// delay must still respect the physical channel: [d − U, d].
+  void unicast_with_delay(int from, int to, const Pulse& pulse,
+                          sim::Duration delay);
+
+  const std::vector<int>& neighbors(int node) const;
+  bool are_neighbors(int a, int b) const;
+
+  const DelayModel& delay_model() const { return *delays_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  void deliver(int from, int to, const Pulse& pulse, sim::Duration delay);
+  sim::Rng& edge_rng(int from, int to);
+
+  sim::Simulator& sim_;
+  std::vector<std::vector<int>> adjacency_;
+  std::unique_ptr<DelayModel> delays_;
+  std::vector<Handler> handlers_;
+  // One stream per directed edge, keyed densely: edge_streams_[from] maps
+  // position-in-adjacency-list -> Rng; loopback stream is separate.
+  std::vector<std::vector<sim::Rng>> edge_streams_;
+  std::vector<sim::Rng> loopback_streams_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace ftgcs::net

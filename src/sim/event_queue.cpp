@@ -1,0 +1,44 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::sim {
+
+EventId EventQueue::schedule(Time t, Callback fn) {
+  FTGCS_EXPECTS(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{t, seq});
+  live_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  return live_.erase(id.value) > 0;  // heap entry skipped lazily on pop
+}
+
+void EventQueue::drop_dead_heads() const {
+  while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  drop_dead_heads();
+  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_heads();
+  FTGCS_EXPECTS(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.seq);
+  FTGCS_ASSERT(it != live_.end());
+  Fired fired{top.at, EventId{top.seq}, std::move(it->second)};
+  live_.erase(it);
+  return fired;
+}
+
+}  // namespace ftgcs::sim

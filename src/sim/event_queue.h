@@ -1,0 +1,78 @@
+// Cancellable discrete-event queue.
+//
+// Events are (time, sequence) ordered; sequence numbers break ties FIFO so
+// executions are fully deterministic. Cancellation is lazy: the handle's
+// callback slot is erased and the heap entry is skipped on pop. This keeps
+// schedule/cancel O(log n) amortized without a decrease-key structure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time_types.h"
+
+namespace ftgcs::sim {
+
+/// Opaque handle identifying a scheduled event.
+struct EventId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+  explicit operator bool() const { return value != 0; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t`. Events at equal time run in
+  /// scheduling order. Returns a handle usable with `cancel`.
+  EventId schedule(Time t, Callback fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a no-op (returns false).
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const { return live_.empty(); }
+
+  /// Number of live (not cancelled, not fired) events.
+  std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  Time next_time() const;
+
+  /// Pops and returns the earliest live event. Requires !empty().
+  struct Fired {
+    Time at;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (for stats / microbenchmarks).
+  std::uint64_t scheduled_count() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_heads() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace ftgcs::sim

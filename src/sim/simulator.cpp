@@ -1,0 +1,37 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::sim {
+
+EventId Simulator::at(Time t, Callback fn) {
+  FTGCS_EXPECTS(t >= now_);
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventId Simulator::after(Duration dt, Callback fn) {
+  FTGCS_EXPECTS(dt >= 0.0);
+  return queue_.schedule(now_ + dt, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  FTGCS_ASSERT(fired.at >= now_);
+  now_ = fired.at;
+  ++fired_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::run_until(Time t_end) {
+  FTGCS_EXPECTS(t_end >= now_);
+  while (!queue_.empty() && queue_.next_time() <= t_end) {
+    step();
+  }
+  now_ = t_end;
+}
+
+}  // namespace ftgcs::sim

@@ -1,0 +1,55 @@
+// Single-threaded discrete-event simulator facade.
+//
+// Owns the virtual clock and the event queue. Protocol components schedule
+// callbacks at absolute Newtonian times; the simulator advances time to the
+// next event and fires it. Time never flows backwards and events scheduled
+// in the past are rejected (contract violation), which catches clock
+// inversion bugs early.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time_types.h"
+
+namespace ftgcs::sim {
+
+class Simulator {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current Newtonian time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t >= now()`.
+  EventId at(Time t, Callback fn);
+
+  /// Schedules `fn` after a non-negative delay.
+  EventId after(Duration dt, Callback fn);
+
+  /// Cancels a pending event; no-op if already fired/cancelled.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue empties or the next event is later than
+  /// `t_end`; afterwards now() == min(t_end, last event time fired) and is
+  /// then advanced to exactly `t_end`.
+  void run_until(Time t_end);
+
+  /// Fires exactly one event if available. Returns false when idle.
+  bool step();
+
+  /// True if no pending events remain.
+  bool idle() const { return queue_.empty(); }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t fired_events() const { return fired_; }
+  std::uint64_t scheduled_events() const { return queue_.scheduled_count(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace ftgcs::sim

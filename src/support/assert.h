@@ -1,0 +1,32 @@
+// Lightweight contract macros in the spirit of the C++ Core Guidelines'
+// Expects/Ensures (I.6/I.8). Violations are programming errors and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftgcs::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "ftgcs: %s violated: (%s) at %s:%d\n", kind, expr,
+               file, line);
+  std::abort();
+}
+
+}  // namespace ftgcs::detail
+
+#define FTGCS_EXPECTS(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::ftgcs::detail::contract_failure("precondition", #cond,        \
+                                              __FILE__, __LINE__))
+
+#define FTGCS_ENSURES(cond)                                                  \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::ftgcs::detail::contract_failure("postcondition", #cond,       \
+                                              __FILE__, __LINE__))
+
+#define FTGCS_ASSERT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::ftgcs::detail::contract_failure("invariant", #cond, __FILE__, \
+                                              __LINE__))

@@ -1,0 +1,36 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace ftgcs::log {
+
+namespace {
+Level g_level = Level::kOff;
+
+const char* name_of(Level lvl) {
+  switch (lvl) {
+    case Level::kOff:
+      return "off";
+    case Level::kError:
+      return "error";
+    case Level::kWarn:
+      return "warn";
+    case Level::kInfo:
+      return "info";
+    case Level::kDebug:
+      return "debug";
+    case Level::kTrace:
+      return "trace";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() noexcept { return g_level; }
+void set_level(Level lvl) noexcept { g_level = lvl; }
+
+void emit(Level lvl, const std::string& msg) {
+  std::fprintf(stderr, "[ftgcs %-5s] %s\n", name_of(lvl), msg.c_str());
+}
+
+}  // namespace ftgcs::log

@@ -1,0 +1,54 @@
+// Minimal leveled logging. Off by default so simulations stay quiet;
+// tests and examples can raise the level for debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ftgcs::log {
+
+enum class Level { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Global log level. Not thread-safe by design: the simulator is
+/// single-threaded and logging is a debugging aid only.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+/// Emits one line to stderr if `lvl` is enabled.
+void emit(Level lvl, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+void log_if(Level lvl, Args&&... args) {
+  if (static_cast<int>(lvl) <= static_cast<int>(level())) {
+    std::ostringstream os;
+    (os << ... << args);
+    emit(lvl, os.str());
+  }
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void error(Args&&... args) {
+  detail::log_if(Level::kError, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  detail::log_if(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  detail::log_if(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(Args&&... args) {
+  detail::log_if(Level::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void trace(Args&&... args) {
+  detail::log_if(Level::kTrace, std::forward<Args>(args)...);
+}
+
+}  // namespace ftgcs::log

@@ -1,0 +1,156 @@
+// Shared test harness: a single cluster of ClusterSyncEngines wired over a
+// real Network, with optional passive observers — the minimal substrate for
+// testing Algorithm 1 and Corollary 3.5 in isolation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster_sync.h"
+#include "core/params.h"
+#include "net/augmented.h"
+#include "net/channel.h"
+#include "net/graph.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::testing {
+
+/// One cluster of `k` active engines (node ids 0..k−1 in cluster 0). If
+/// `observers > 0`, an adjacent cluster 1 exists whose first `observers`
+/// members run passive replicas of cluster 0 (the remaining members of
+/// cluster 1 are inert; they exist only for topology bookkeeping).
+class ClusterHarness {
+ public:
+  struct Options {
+    int active = 0;        ///< live members of cluster 0 (≤ k; rest silent)
+    int observers = 0;     ///< passive replicas in cluster 1
+    std::uint64_t seed = 1;
+    std::unique_ptr<net::DelayModel> delay_model;  ///< null → Uniform
+  };
+
+  ClusterHarness(const core::Params& params, Options options)
+      : params_(params),
+        topo_(options.observers > 0 ? net::Graph::line(2)
+                                    : net::Graph::line(1),
+              params.k),
+        network_(sim_, topo_.adjacency(),
+                 options.delay_model
+                     ? std::move(options.delay_model)
+                     : std::make_unique<net::UniformDelay>(params.d,
+                                                           params.U),
+                 sim::Rng(options.seed)) {
+    sim::Rng master(options.seed ^ 0xabcdULL);
+    const int active = options.active > 0 ? options.active : params.k;
+
+    core::ClusterSyncConfig cfg;
+    cfg.tau1 = params.tau1;
+    cfg.tau2 = params.tau2;
+    cfg.tau3 = params.tau3;
+    cfg.phi = params.phi;
+    cfg.mu = params.mu;
+    cfg.f = params.f;
+    cfg.k = params.k;
+    cfg.d = params.d;
+    cfg.U = params.U;
+
+    for (int i = 0; i < params.k; ++i) {
+      if (i >= active) {
+        engines_.push_back(nullptr);  // silent (crashed from start)
+        network_.register_handler(i, [](const net::Pulse&, sim::Time) {});
+        continue;
+      }
+      cfg.active = true;
+      auto engine = std::make_unique<core::ClusterSyncEngine>(
+          sim_, cfg, 1.0, master.fork(10 + i));
+      engine->set_own_index(i);
+      auto* raw = engine.get();
+      const int id = i;
+      raw->on_pulse = [this, id](int, sim::Time) {
+        net::Pulse pulse;
+        pulse.sender = id;
+        pulse.kind = net::PulseKind::kClusterPulse;
+        network_.broadcast(id, pulse);
+      };
+      network_.register_handler(
+          i, [this, raw](const net::Pulse& pulse, sim::Time now) {
+            if (pulse.kind != net::PulseKind::kClusterPulse) return;
+            if (topo_.cluster_of(pulse.sender) != 0) return;
+            raw->on_member_pulse(topo_.index_in_cluster(pulse.sender), now);
+          });
+      engines_.push_back(std::move(engine));
+    }
+
+    // Inert members of the observer cluster still receive broadcasts.
+    if (options.observers > 0) {
+      for (int j = options.observers; j < params.k; ++j) {
+        network_.register_handler(topo_.node(1, j),
+                                  [](const net::Pulse&, sim::Time) {});
+      }
+    }
+
+    for (int j = 0; j < options.observers; ++j) {
+      cfg.active = false;
+      auto replica = std::make_unique<core::ClusterSyncEngine>(
+          sim_, cfg, 1.0, master.fork(100 + j));
+      auto* raw = replica.get();
+      const int id = topo_.node(1, j);
+      network_.register_handler(
+          id, [this, raw](const net::Pulse& pulse, sim::Time now) {
+            if (pulse.kind != net::PulseKind::kClusterPulse) return;
+            if (topo_.cluster_of(pulse.sender) != 0) return;
+            raw->on_member_pulse(topo_.index_in_cluster(pulse.sender), now);
+          });
+      observers_.push_back(std::move(replica));
+    }
+  }
+
+  void start() {
+    for (auto& engine : engines_) {
+      if (engine) engine->start();
+    }
+    for (auto& observer : observers_) observer->start();
+  }
+
+  void run_rounds(double rounds) { sim_.run_until(rounds * params_.T); }
+
+  sim::Simulator& sim() { return sim_; }
+  net::Network& network() { return network_; }
+  const net::AugmentedTopology& topo() const { return topo_; }
+
+  core::ClusterSyncEngine& engine(int i) { return *engines_[i]; }
+  bool has_engine(int i) const { return engines_[i] != nullptr; }
+  core::ClusterSyncEngine& observer(int j) { return *observers_[j]; }
+
+  int k() const { return params_.k; }
+
+  /// Max |L_v − L_w| over live engines at the current time.
+  double skew() const {
+    double lo = 0.0, hi = 0.0;
+    bool any = false;
+    for (const auto& engine : engines_) {
+      if (!engine) continue;
+      const double value = engine->clock().read(sim_.now());
+      if (!any) {
+        lo = hi = value;
+        any = true;
+      } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+    }
+    return any ? hi - lo : 0.0;
+  }
+
+ private:
+  core::Params params_;
+  sim::Simulator sim_;
+  net::AugmentedTopology topo_;
+  net::Network network_;
+  std::vector<std::unique_ptr<core::ClusterSyncEngine>> engines_;
+  std::vector<std::unique_ptr<core::ClusterSyncEngine>> observers_;
+};
+
+}  // namespace ftgcs::testing

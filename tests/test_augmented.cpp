@@ -1,0 +1,112 @@
+// Augmentation G → G: node/edge counts must match the paper's overhead
+// claims (×k nodes, cluster cliques + complete bipartite bundles).
+#include "net/augmented.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ftgcs::net {
+namespace {
+
+TEST(Augmented, NodeCountIsClustersTimesK) {
+  const AugmentedTopology topo(Graph::line(5), 4);
+  EXPECT_EQ(topo.num_clusters(), 5);
+  EXPECT_EQ(topo.cluster_size(), 4);
+  EXPECT_EQ(topo.num_nodes(), 20);
+}
+
+TEST(Augmented, EdgeCountFormula) {
+  // |E| = |C|·k(k−1)/2  +  |E|·k².
+  const int k = 4;
+  const Graph g = Graph::line(5);  // 4 cluster edges
+  const AugmentedTopology topo(g, k);
+  const std::size_t expected = 5u * (k * (k - 1) / 2) + 4u * k * k;
+  EXPECT_EQ(topo.num_edges(), expected);
+}
+
+TEST(Augmented, IdMappingRoundTrips) {
+  const AugmentedTopology topo(Graph::ring(3), 4);
+  for (int c = 0; c < topo.num_clusters(); ++c) {
+    for (int i = 0; i < topo.cluster_size(); ++i) {
+      const int id = topo.node(c, i);
+      EXPECT_EQ(topo.cluster_of(id), c);
+      EXPECT_EQ(topo.index_in_cluster(id), i);
+    }
+  }
+}
+
+TEST(Augmented, MembersListMatchesMapping) {
+  const AugmentedTopology topo(Graph::line(3), 4);
+  for (int c = 0; c < 3; ++c) {
+    const auto& members = topo.members(c);
+    ASSERT_EQ(members.size(), 4u);
+    for (int m : members) EXPECT_EQ(topo.cluster_of(m), c);
+  }
+}
+
+TEST(Augmented, ClusterEdgesFormClique) {
+  const AugmentedTopology topo(Graph::line(2), 4);
+  const auto& adj = topo.adjacency();
+  // Within cluster 0: each of the 4 nodes sees the other 3.
+  for (int i = 0; i < 4; ++i) {
+    int in_cluster = 0;
+    for (int nb : adj[i]) {
+      if (topo.cluster_of(nb) == 0) ++in_cluster;
+    }
+    EXPECT_EQ(in_cluster, 3);
+  }
+}
+
+TEST(Augmented, InterclusterEdgesAreCompleteBipartite) {
+  const AugmentedTopology topo(Graph::line(2), 4);
+  const auto& adj = topo.adjacency();
+  for (int i = 0; i < 4; ++i) {
+    int across = 0;
+    for (int nb : adj[i]) {
+      if (topo.cluster_of(nb) == 1) ++across;
+    }
+    EXPECT_EQ(across, 4);  // sees every member of the adjacent cluster
+  }
+}
+
+TEST(Augmented, NonAdjacentClustersNotConnected) {
+  const AugmentedTopology topo(Graph::line(3), 3);
+  const auto& adj = topo.adjacency();
+  for (int nb : adj[topo.node(0, 0)]) {
+    EXPECT_NE(topo.cluster_of(nb), 2);
+  }
+}
+
+TEST(Augmented, AdjacencyIsSymmetric) {
+  const AugmentedTopology topo(Graph::ring(4), 4);
+  const auto& adj = topo.adjacency();
+  for (int v = 0; v < topo.num_nodes(); ++v) {
+    for (int w : adj[v]) {
+      const auto& back = adj[w];
+      EXPECT_TRUE(std::find(back.begin(), back.end(), v) != back.end());
+    }
+  }
+}
+
+TEST(Augmented, DegreeMatchesPaperOverheadClaim) {
+  // Degree = (k−1) + k·deg_G(C): Θ(f) per unit of cluster degree.
+  const int k = 7;  // f = 2
+  const AugmentedTopology topo(Graph::line(3), k);
+  const auto& adj = topo.adjacency();
+  // Middle cluster has cluster-degree 2.
+  EXPECT_EQ(adj[topo.node(1, 0)].size(),
+            static_cast<std::size_t>((k - 1) + 2 * k));
+  // End cluster has cluster-degree 1.
+  EXPECT_EQ(adj[topo.node(0, 0)].size(),
+            static_cast<std::size_t>((k - 1) + k));
+}
+
+TEST(Augmented, KOneDegeneratesToPlainGraph) {
+  const AugmentedTopology topo(Graph::ring(5), 1);
+  EXPECT_EQ(topo.num_nodes(), 5);
+  EXPECT_EQ(topo.num_edges(), 5u);
+}
+
+}  // namespace
+}  // namespace ftgcs::net

@@ -1,0 +1,188 @@
+// Byzantine resilience (the paper's headline property): with at most f
+// faults per cluster, every attack strategy leaves the skew bounds intact;
+// beyond the budget the guarantees degrade measurably (resilience boundary,
+// experiment E4's foundation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ftgcs_system.h"
+#include "metrics/skew_tracker.h"
+#include "net/graph.h"
+
+namespace ftgcs::core {
+namespace {
+
+struct RunResult {
+  double max_intra = 0.0;
+  double max_cluster_local = 0.0;
+  std::uint64_t violations = 0;
+};
+
+RunResult run_attacked(byz::StrategyKind kind, double param, int per_cluster,
+                       std::uint64_t seed, double rounds = 60.0) {
+  Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  net::Graph g = net::Graph::line(3);
+  net::AugmentedTopology topo_probe(g, params.k);
+
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = seed;
+  config.fault_plan =
+      byz::FaultPlan::uniform(topo_probe, per_cluster, kind, param, seed);
+  FtGcsSystem system(net::Graph::line(3), std::move(config));
+
+  metrics::SkewProbe probe(system, params.T / 3.0, 10.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(rounds * params.T);
+
+  RunResult result;
+  result.max_intra = probe.overall_max().intra_cluster;
+  result.max_cluster_local = probe.overall_max().cluster_local;
+  result.violations = system.total_violations();
+  return result;
+}
+
+class WithinBudgetAttack
+    : public ::testing::TestWithParam<std::tuple<byz::StrategyKind, double>> {
+};
+
+TEST_P(WithinBudgetAttack, BoundsHoldWithFFaultsPerCluster) {
+  const auto [kind, param] = GetParam();
+  const Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const RunResult result = run_attacked(kind, param, /*per_cluster=*/1,
+                                          seed);
+    EXPECT_LE(result.max_intra, params.intra_cluster_skew_bound())
+        << byz::strategy_name(kind) << " seed " << seed;
+    // Adjacent cluster clocks stay within the trigger geometry (well
+    // below one κ level under benign drift).
+    EXPECT_LE(result.max_cluster_local, params.kappa)
+        << byz::strategy_name(kind) << " seed " << seed;
+    EXPECT_EQ(result.violations, 0u)
+        << byz::strategy_name(kind) << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, WithinBudgetAttack,
+    ::testing::Values(
+        std::make_tuple(byz::StrategyKind::kSilent, 0.0),
+        std::make_tuple(byz::StrategyKind::kRandomPulser, 0.7),
+        std::make_tuple(byz::StrategyKind::kTwoFaced, 0.2),
+        std::make_tuple(byz::StrategyKind::kClockLiar, 50.0),
+        std::make_tuple(byz::StrategyKind::kClockLiar, -50.0),
+        std::make_tuple(byz::StrategyKind::kSkewPump, 0.3),
+        std::make_tuple(byz::StrategyKind::kEquivocator, 0.4)),
+    [](const auto& param_info) {
+      std::string name = byz::strategy_name(std::get<0>(param_info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      if (std::get<1>(param_info.param) < 0) name += "_neg";
+      return name + "_" + std::to_string(param_info.index);
+    });
+
+TEST(ByzantineBoundary, OverBudgetTwoFacedDegradesCluster) {
+  // f+1 = 2 two-faced colluders in each cluster of k = 4: the trimmed
+  // midpoint can now be steered. The attack must show up as violations
+  // and/or intra-cluster skew beyond the benign bound.
+  const Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  const RunResult attacked = run_attacked(byz::StrategyKind::kTwoFaced,
+                                          3.0 * params.E,
+                                          /*per_cluster=*/2, 17);
+  const bool degraded =
+      attacked.violations > 0 ||
+      attacked.max_intra > params.intra_cluster_skew_bound();
+  EXPECT_TRUE(degraded) << "intra=" << attacked.max_intra
+                        << " violations=" << attacked.violations;
+}
+
+TEST(ByzantineBoundary, WithinBudgetStrongerParamStillHolds) {
+  // The same attack magnitude with only f colluders is absorbed.
+  const Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  const RunResult ok = run_attacked(byz::StrategyKind::kTwoFaced,
+                                    3.0 * params.E, /*per_cluster=*/1, 17);
+  EXPECT_EQ(ok.violations, 0u);
+  EXPECT_LE(ok.max_intra, params.intra_cluster_skew_bound());
+}
+
+TEST(ByzantineBoundary, FullyFaultyClusterIsLost) {
+  // All k members of the middle cluster faulty: its neighbors' replicas
+  // track garbage, but surviving clusters' internal sync must still hold.
+  Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  net::AugmentedTopology topo_probe(net::Graph::line(3), params.k);
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 5;
+  config.fault_plan = byz::FaultPlan::in_cluster(
+      topo_probe, 1, params.k, byz::StrategyKind::kSilent, 0.0, 5);
+  FtGcsSystem system(net::Graph::line(3), std::move(config));
+  system.start();
+  system.run_until(40.0 * params.T);
+
+  const auto snapshot = system.snapshot();
+  const auto skews = metrics::measure_skews(snapshot, system.topology());
+  EXPECT_LE(skews.intra_cluster, params.intra_cluster_skew_bound());
+  EXPECT_FALSE(system.cluster_clock(1).has_value());
+  EXPECT_TRUE(system.cluster_clock(0).has_value());
+  EXPECT_TRUE(system.cluster_clock(2).has_value());
+}
+
+TEST(ByzantineCrash, CrashPlusByzantineExceedsBudget) {
+  // A crash counts against the same per-cluster budget f as a Byzantine
+  // fault: with f = 1, one two-faced node PLUS one crashed node in the
+  // same cluster exhausts the trim (the missing pulse's clamp occupies a
+  // trimmed slot), so the attacker's split pulses systematically bias the
+  // trimmed midpoint of the surviving members — the whole cluster clock
+  // drifts away from its healthy neighbor at a steady rate. The same
+  // attack with the crash in the OTHER cluster stays tight.
+  const Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  auto run = [&](int crash_cluster) {
+    net::AugmentedTopology topo(net::Graph::line(2), params.k);
+    FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 77;
+    config.fault_plan = byz::FaultPlan::in_cluster(
+        topo, 0, 1, byz::StrategyKind::kTwoFaced, 3.0 * params.E, 77);
+    FtGcsSystem system(net::Graph::line(2), std::move(config));
+    for (int member : topo.members(crash_cluster)) {
+      if (system.is_correct(member)) {
+        system.node(member).crash_at(10.0 * params.T);
+        break;
+      }
+    }
+    system.start();
+    system.run_until(150.0 * params.T);
+    return std::abs(*system.cluster_clock(0) - *system.cluster_clock(1));
+  };
+  const double within_budget = run(/*crash_cluster=*/1);
+  const double over_budget = run(/*crash_cluster=*/0);
+  EXPECT_LE(within_budget, 0.1);
+  EXPECT_GT(over_budget, 0.3);
+  EXPECT_GT(over_budget, 20.0 * within_budget);
+}
+
+TEST(ByzantineCrash, CrashedNodesActAsSilent) {
+  // Benign crash via FtGcsNode::crash_at: system continues within bounds.
+  Params params = Params::practical(1e-3, 1.0, 0.01, 1);
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 9;
+  FtGcsSystem system(net::Graph::line(3), std::move(config));
+  // Crash one node per cluster mid-run (the f budget).
+  for (int c = 0; c < 3; ++c) {
+    system.node(system.topology().node(c, 0)).crash_at(10.0 * params.T);
+  }
+  metrics::SkewProbe probe(system, params.T / 3.0, 15.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(50.0 * params.T);
+  EXPECT_LE(probe.steady_max().intra_cluster,
+            params.intra_cluster_skew_bound());
+  EXPECT_EQ(system.total_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace ftgcs::core

@@ -1,0 +1,301 @@
+// Algorithm 1 (ClusterSync): round structure (Lemma B.6), amortization
+// (Lemma 3.1), rate envelope (Lemma B.4), convergence and skew bounds
+// (Proposition B.14 / Corollary 3.2), and robustness bookkeeping.
+#include "core/cluster_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "harness.h"
+#include "metrics/trace.h"
+
+namespace ftgcs::core {
+namespace {
+
+using testing::ClusterHarness;
+
+Params test_params(int f = 1) {
+  return Params::practical(1e-3, 1.0, 0.01, f);
+}
+
+TEST(ClusterSync, RoundStartsAtExactLogicalBoundaries) {
+  // Lemma B.6: L_v(t_v(r)) = (r−1)·T for every node and round.
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  std::map<int, std::vector<double>> starts;  // engine -> logical at start
+  for (int i = 0; i < harness.k(); ++i) {
+    auto& engine = harness.engine(i);
+    engine.on_round_start = [&starts, &engine, &harness, i](int) {
+      starts[i].push_back(engine.clock().read(harness.sim().now()));
+    };
+  }
+  harness.start();
+  harness.run_rounds(10.5);
+  for (int i = 0; i < harness.k(); ++i) {
+    ASSERT_GE(starts[i].size(), 10u);
+    for (std::size_t r = 0; r < starts[i].size(); ++r) {
+      EXPECT_NEAR(starts[i][r], static_cast<double>(r) * params.T, 1e-9);
+    }
+  }
+}
+
+TEST(ClusterSync, PulsesAtLogicalTau1) {
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  std::vector<double> pulse_logical;
+  auto& engine = harness.engine(0);
+  engine.on_pulse = [&](int round, sim::Time now) {
+    pulse_logical.push_back(engine.clock().read(now) -
+                            (round - 1) * params.T);
+    // The harness's broadcast hook was replaced; re-broadcast manually.
+    net::Pulse pulse;
+    pulse.sender = 0;
+    pulse.kind = net::PulseKind::kClusterPulse;
+    harness.network().broadcast(0, pulse);
+  };
+  harness.start();
+  harness.run_rounds(5.5);
+  ASSERT_GE(pulse_logical.size(), 5u);
+  for (double offset : pulse_logical) {
+    EXPECT_NEAR(offset, params.tau1, 1e-9);
+  }
+}
+
+TEST(ClusterSync, NominalRoundLengthIsTPlusDelta) {
+  // Lemma 3.1: ∫ h_nom over round r equals T + ∆_v(r). With constant
+  // hardware rate h and γ=0, ∫ h_nom = (1+ϕ)·h·(t_v(r+1) − t_v(r)).
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  const double h = 1.0005;
+  for (int i = 0; i < harness.k(); ++i) {
+    harness.engine(i).set_hardware_rate(0.0, h);
+  }
+  struct PerRound {
+    double start = 0.0;
+    double correction = 0.0;
+    bool have_correction = false;
+  };
+  std::map<int, PerRound> rounds;
+  auto& engine = harness.engine(1);
+  engine.on_round_start = [&](int r) {
+    rounds[r].start = harness.sim().now();
+  };
+  engine.on_correction = [&](int r, double delta_corr, bool) {
+    rounds[r].correction = delta_corr;
+    rounds[r].have_correction = true;
+  };
+  harness.start();
+  harness.run_rounds(8.5);
+  int checked = 0;
+  for (const auto& [r, data] : rounds) {
+    const auto next = rounds.find(r + 1);
+    if (next == rounds.end() || !data.have_correction) continue;
+    const double nominal =
+        (1.0 + params.phi) * h * (next->second.start - data.start);
+    EXPECT_NEAR(nominal, params.T + data.correction, 1e-7) << "round " << r;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6);
+}
+
+TEST(ClusterSync, DeltaVStaysInLemmaB4Range) {
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  harness.start();
+  // Sample δ_v at random times across many rounds.
+  double max_delta = 0.0;
+  double min_delta = 10.0;
+  for (int step = 1; step <= 200; ++step) {
+    harness.run_rounds(0.1 * step);
+    for (int i = 0; i < harness.k(); ++i) {
+      const double delta = harness.engine(i).clock().delta();
+      max_delta = std::max(max_delta, delta);
+      min_delta = std::min(min_delta, delta);
+    }
+  }
+  EXPECT_GE(min_delta, 0.0);
+  EXPECT_LE(max_delta, 2.0 / (1.0 - params.phi));
+}
+
+TEST(ClusterSync, ConvergesWithinCorollary32Bound) {
+  const Params params = test_params();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ClusterHarness::Options options;
+    options.seed = seed;
+    ClusterHarness harness(params, std::move(options));
+    // Spread hardware rates across the envelope (worst-case constant).
+    for (int i = 0; i < harness.k(); ++i) {
+      harness.engine(i).set_hardware_rate(
+          0.0, 1.0 + params.rho * i / (harness.k() - 1));
+    }
+    harness.start();
+    double worst = 0.0;
+    for (int step = 1; step <= 60; ++step) {
+      harness.run_rounds(0.5 * step);
+      worst = std::max(worst, harness.skew());
+    }
+    EXPECT_LE(worst, params.intra_cluster_skew_bound()) << "seed " << seed;
+    for (int i = 0; i < harness.k(); ++i) {
+      EXPECT_EQ(harness.engine(i).violations(), 0u);
+    }
+  }
+}
+
+TEST(ClusterSync, PulseDiametersStayBelowE) {
+  // Proposition B.14: ‖p(r)‖ ≤ E for all rounds.
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  metrics::PulseDiameterTrace trace(params.k);
+  for (int i = 0; i < harness.k(); ++i) {
+    auto& engine = harness.engine(i);
+    auto previous = engine.on_pulse;  // keep the broadcast hook
+    engine.on_pulse = [&trace, previous](int round, sim::Time now) {
+      trace.record_pulse(round, now);
+      if (previous) previous(round, now);
+    };
+    engine.set_hardware_rate(0.0, 1.0 + params.rho * (i % 2));
+  }
+  harness.start();
+  harness.run_rounds(40.0);
+  const auto diameters = trace.complete_rounds();
+  ASSERT_GE(diameters.size(), 30u);
+  for (const auto& [round, diameter] : diameters) {
+    EXPECT_LE(diameter, params.E) << "round " << round;
+  }
+}
+
+TEST(ClusterSync, PulsesArriveWithinCollectionWindows) {
+  // Regression guard for the eq. (10)-vs-eq. (4) window bug (see
+  // core/params.h): every pulse of a correct execution must land inside
+  // phases 1–2 of the receiver's current round — no drops — and the
+  // algorithm must actually engage (non-zero corrections under drift).
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  double max_abs_correction = 0.0;
+  for (int i = 0; i < harness.k(); ++i) {
+    auto& engine = harness.engine(i);
+    engine.on_correction = [&max_abs_correction](int, double delta_corr,
+                                                 bool) {
+      max_abs_correction =
+          std::max(max_abs_correction, std::abs(delta_corr));
+    };
+    engine.set_hardware_rate(0.0,
+                             1.0 + params.rho * i / (harness.k() - 1));
+  }
+  harness.start();
+  harness.run_rounds(30.0);
+  for (int i = 0; i < harness.k(); ++i) {
+    EXPECT_EQ(harness.engine(i).dropped_pulses(), 0u) << "engine " << i;
+    EXPECT_EQ(harness.engine(i).duplicate_pulses(), 0u) << "engine " << i;
+    EXPECT_EQ(harness.engine(i).violations(), 0u) << "engine " << i;
+  }
+  // Drifting clocks force genuinely non-zero corrections: the Lynch–Welch
+  // step is live, not vacuous.
+  EXPECT_GT(max_abs_correction, 0.0);
+}
+
+TEST(ClusterSync, ToleratesSilentFaultyMembers) {
+  // f members never pulse; the trimmed correction absorbs the clamped
+  // placeholders and the live members stay within the bound.
+  const Params params = test_params(1);  // k=4, f=1
+  ClusterHarness::Options options;
+  options.active = 3;  // one silent member
+  ClusterHarness harness(params, std::move(options));
+  harness.start();
+  double worst = 0.0;
+  for (int step = 1; step <= 40; ++step) {
+    harness.run_rounds(step);
+    worst = std::max(worst, harness.skew());
+  }
+  EXPECT_LE(worst, params.intra_cluster_skew_bound());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(harness.engine(i).violations(), 0u);
+  }
+}
+
+TEST(ClusterSync, DuplicatePulsesFirstWinsAndCounted) {
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  harness.start();
+  harness.run_rounds(0.05);  // mid phase 1 of round 1
+  // Forge a duplicate pulse from node 1 to node 0 (as if Byzantine).
+  auto& engine = harness.engine(0);
+  const auto before = engine.duplicate_pulses();
+  engine.on_member_pulse(1, harness.sim().now());
+  engine.on_member_pulse(1, harness.sim().now());
+  EXPECT_EQ(engine.duplicate_pulses(), before + 1);
+}
+
+TEST(ClusterSync, LatePulsesDroppedAndCounted) {
+  const Params params = test_params();
+  ClusterHarness harness(params, {});
+  harness.start();
+  // Step to phase 3 of round 1: listening is off.
+  auto& engine = harness.engine(0);
+  while (engine.round() <= 1 && engine.listening()) {
+    ASSERT_TRUE(harness.sim().step());
+  }
+  ASSERT_EQ(engine.round(), 1);
+  const auto before = engine.dropped_pulses();
+  engine.on_member_pulse(2, harness.sim().now());
+  EXPECT_EQ(engine.dropped_pulses(), before + 1);
+}
+
+TEST(ClusterSync, StartRoundOffsetsLogicalClock) {
+  const Params params = test_params();
+  sim::Simulator sim;
+  ClusterSyncConfig cfg;
+  cfg.tau1 = params.tau1;
+  cfg.tau2 = params.tau2;
+  cfg.tau3 = params.tau3;
+  cfg.phi = params.phi;
+  cfg.mu = params.mu;
+  cfg.f = params.f;
+  cfg.k = params.k;
+  cfg.active = true;
+  cfg.d = params.d;
+  cfg.U = params.U;
+  cfg.start_round = 4;
+  ClusterSyncEngine engine(sim, cfg, 1.0, sim::Rng(3));
+  EXPECT_NEAR(engine.clock().read(0.0), 3.0 * params.T, 1e-12);
+  engine.start();
+  EXPECT_EQ(engine.round(), 4);
+}
+
+TEST(ClusterSync, CorrectionClampViolationAccounting) {
+  // Drive ∆ out of the proper-execution range by forging a wildly early
+  // pulse set (only possible with > f colluders; here we forge directly).
+  const Params params = test_params(0);  // f=0: no trimming at all, k=1
+  sim::Simulator sim;
+  ClusterSyncConfig cfg;
+  cfg.tau1 = params.tau1;
+  cfg.tau2 = params.tau2;
+  cfg.tau3 = params.tau3;
+  cfg.phi = params.phi;
+  cfg.mu = params.mu;
+  cfg.f = 0;
+  cfg.k = 2;
+  cfg.active = false;  // passive: simulated loopback, no broadcast needed
+  cfg.d = params.d;
+  cfg.U = params.U;
+  ClusterSyncEngine engine(sim, cfg, 1.0, sim::Rng(3));
+  bool violated = false;
+  engine.on_correction = [&](int, double, bool v) { violated = violated || v; };
+  engine.start();
+  // Feed absurdly early pulses (deep in phase 1): the correction the
+  // algorithm would compute exceeds ϕ·τ3 and must be clamped + counted.
+  sim.run_until(0.01 * params.T);
+  engine.on_member_pulse(0, sim.now());
+  engine.on_member_pulse(1, sim.now());
+  sim.run_until(1.5 * params.T);
+  EXPECT_TRUE(violated);
+  EXPECT_GE(engine.violations(), 1u);
+  // δ_v still within the Lemma B.4 envelope thanks to the clamp.
+  EXPECT_GE(engine.clock().delta(), 0.0);
+  EXPECT_LE(engine.clock().delta(), 2.0 / (1.0 - params.phi));
+}
+
+}  // namespace
+}  // namespace ftgcs::core

@@ -1,0 +1,140 @@
+// All drift models must respect the paper's envelope h_v(t) ∈ [1, 1+ρ].
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "clocks/drift_model.h"
+#include "sim/simulator.h"
+
+namespace ftgcs::clocks {
+namespace {
+
+struct Recorder {
+  std::vector<std::vector<std::pair<sim::Time, double>>> updates;
+
+  std::vector<RateSink> sinks(std::size_t n) {
+    updates.resize(n);
+    std::vector<RateSink> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back([this, i](sim::Time t, double r) {
+        updates[i].emplace_back(t, r);
+      });
+    }
+    return out;
+  }
+
+  void expect_envelope(double rho) {
+    for (const auto& node : updates) {
+      ASSERT_FALSE(node.empty());
+      for (const auto& [t, r] : node) {
+        EXPECT_GE(r, 1.0);
+        EXPECT_LE(r, 1.0 + rho + 1e-12);
+      }
+    }
+  }
+};
+
+TEST(ConstantDrift, SpreadCoversEnvelopeDeterministically) {
+  sim::Simulator sim;
+  Recorder rec;
+  const double rho = 1e-3;
+  ConstantDrift model(rho, 1, /*spread=*/true);
+  model.install(sim, rec.sinks(5));
+  rec.expect_envelope(rho);
+  EXPECT_DOUBLE_EQ(rec.updates[0][0].second, 1.0);
+  EXPECT_DOUBLE_EQ(rec.updates[4][0].second, 1.0 + rho);
+  // One update per node, no future events.
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(ConstantDrift, RandomRatesWithinEnvelope) {
+  sim::Simulator sim;
+  Recorder rec;
+  ConstantDrift model(5e-4, 77, /*spread=*/false);
+  model.install(sim, rec.sinks(100));
+  rec.expect_envelope(5e-4);
+}
+
+TEST(RandomWalkDrift, StaysInEnvelopeOverTime) {
+  sim::Simulator sim;
+  Recorder rec;
+  const double rho = 1e-3;
+  RandomWalkDrift model(rho, /*step_interval=*/1.0, /*step_size=*/4e-4, 5);
+  model.install(sim, rec.sinks(10));
+  sim.run_until(200.0);
+  rec.expect_envelope(rho);
+  // Rates actually moved.
+  bool moved = false;
+  for (const auto& node : rec.updates) {
+    for (std::size_t i = 1; i < node.size(); ++i) {
+      if (node[i].second != node[0].second) moved = true;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(SinusoidalDrift, StaysInEnvelopeAndOscillates) {
+  sim::Simulator sim;
+  Recorder rec;
+  const double rho = 2e-3;
+  SinusoidalDrift model(rho, /*period=*/50.0, /*sample_every=*/1.0, 3);
+  model.install(sim, rec.sinks(4));
+  sim.run_until(100.0);
+  rec.expect_envelope(rho);
+  // Over a full period the rate should span most of the envelope.
+  double lo = 2.0, hi = 0.0;
+  for (const auto& [t, r] : rec.updates[0]) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 1.0 + 0.2 * rho);
+  EXPECT_GT(hi, 1.0 + 0.8 * rho);
+}
+
+TEST(SpatialSplitDrift, SplitsByGroupAndFlips) {
+  sim::Simulator sim;
+  Recorder rec;
+  const double rho = 1e-3;
+  // Nodes 0,1 in group 0; nodes 2,3 in group 1; boundary 1 → group 0 fast.
+  SpatialSplitDrift model(rho, {0, 0, 1, 1}, /*boundary=*/1,
+                          /*flip_every=*/10.0);
+  model.install(sim, rec.sinks(4));
+  sim.run_until(15.0);  // one flip at t=10
+  rec.expect_envelope(rho);
+  // Initially: group 0 fast, group 1 slow.
+  EXPECT_DOUBLE_EQ(rec.updates[0][0].second, 1.0 + rho);
+  EXPECT_DOUBLE_EQ(rec.updates[2][0].second, 1.0);
+  // After flip: swapped.
+  ASSERT_GE(rec.updates[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.updates[0][1].second, 1.0);
+  EXPECT_DOUBLE_EQ(rec.updates[2][1].second, 1.0 + rho);
+}
+
+TEST(SpatialSplitDrift, NoFlipMeansSingleAssignment) {
+  sim::Simulator sim;
+  Recorder rec;
+  SpatialSplitDrift model(1e-3, {0, 1}, 1, /*flip_every=*/0.0);
+  model.install(sim, rec.sinks(2));
+  sim.run_until(100.0);
+  EXPECT_EQ(rec.updates[0].size(), 1u);
+  EXPECT_EQ(rec.updates[1].size(), 1u);
+}
+
+TEST(ScheduledDrift, AppliesScriptAtExactTimes) {
+  sim::Simulator sim;
+  Recorder rec;
+  ScheduledDrift model({1.0, 1.0005},
+                       {{5.0, 0, 1.001}, {7.5, 1, 1.0}});
+  model.install(sim, rec.sinks(2));
+  sim.run_until(10.0);
+  ASSERT_EQ(rec.updates[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.updates[0][1].first, 5.0);
+  EXPECT_DOUBLE_EQ(rec.updates[0][1].second, 1.001);
+  ASSERT_EQ(rec.updates[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(rec.updates[1][1].first, 7.5);
+  EXPECT_DOUBLE_EQ(rec.updates[1][1].second, 1.0);
+}
+
+}  // namespace
+}  // namespace ftgcs::clocks

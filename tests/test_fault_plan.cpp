@@ -1,0 +1,92 @@
+#include "byz/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ftgcs::byz {
+namespace {
+
+net::AugmentedTopology topo() {
+  return net::AugmentedTopology(net::Graph::line(5), 4);
+}
+
+TEST(FaultPlan, NoneIsEmpty) {
+  EXPECT_TRUE(FaultPlan::none().empty());
+  EXPECT_EQ(FaultPlan::none().max_faults_per_cluster(topo()), 0);
+}
+
+TEST(FaultPlan, UniformPlacesExactlyCountPerCluster) {
+  const auto t = topo();
+  const FaultPlan plan =
+      FaultPlan::uniform(t, 1, StrategyKind::kSilent, 0.0, 42);
+  EXPECT_EQ(plan.size(), 5u);
+  EXPECT_EQ(plan.max_faults_per_cluster(t), 1);
+  std::set<int> clusters;
+  for (const auto& spec : plan.specs()) {
+    clusters.insert(t.cluster_of(spec.node));
+  }
+  EXPECT_EQ(clusters.size(), 5u);
+}
+
+TEST(FaultPlan, UniformIsDeterministicPerSeed) {
+  const auto t = topo();
+  const FaultPlan a = FaultPlan::uniform(t, 1, StrategyKind::kSilent, 0.0, 7);
+  const FaultPlan b = FaultPlan::uniform(t, 1, StrategyKind::kSilent, 0.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.specs()[i].node, b.specs()[i].node);
+  }
+}
+
+TEST(FaultPlan, InClusterPlacesOnlyThere) {
+  const auto t = topo();
+  const FaultPlan plan =
+      FaultPlan::in_cluster(t, 2, 2, StrategyKind::kTwoFaced, 0.1, 3);
+  EXPECT_EQ(plan.size(), 2u);
+  for (const auto& spec : plan.specs()) {
+    EXPECT_EQ(t.cluster_of(spec.node), 2);
+    EXPECT_EQ(spec.kind, StrategyKind::kTwoFaced);
+    EXPECT_DOUBLE_EQ(spec.param, 0.1);
+  }
+  EXPECT_EQ(plan.max_faults_per_cluster(t), 2);
+}
+
+TEST(FaultPlan, OverBudgetPlansRepresentable) {
+  // f+1 faults in a cluster of k=3f+1 must be expressible (E4 needs it).
+  const auto t = topo();
+  const FaultPlan plan =
+      FaultPlan::in_cluster(t, 0, 2, StrategyKind::kSilent, 0.0, 3);
+  EXPECT_EQ(plan.max_faults_per_cluster(t), 2);  // f=1 budget exceeded
+}
+
+TEST(FaultPlan, IidRespectsProbabilityRoughly) {
+  const auto t = topo();  // 20 nodes
+  int total = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    total += static_cast<int>(
+        FaultPlan::iid(t, 0.25, StrategyKind::kSilent, 0.0, seed).size());
+  }
+  // Expectation 20·0.25·200 = 1000; allow generous tolerance.
+  EXPECT_GT(total, 800);
+  EXPECT_LT(total, 1200);
+}
+
+TEST(FaultPlan, ContainsAndDuplicateRejection) {
+  FaultPlan plan;
+  plan.add({3, StrategyKind::kSilent, 0.0});
+  EXPECT_TRUE(plan.contains(3));
+  EXPECT_FALSE(plan.contains(4));
+}
+
+TEST(FaultPlan, StrategyNamesAreStable) {
+  EXPECT_STREQ(strategy_name(StrategyKind::kSilent), "silent");
+  EXPECT_STREQ(strategy_name(StrategyKind::kTwoFaced), "two-faced");
+  EXPECT_STREQ(strategy_name(StrategyKind::kClockLiar), "clock-liar");
+  EXPECT_STREQ(strategy_name(StrategyKind::kSkewPump), "skew-pump");
+  EXPECT_STREQ(strategy_name(StrategyKind::kEquivocator), "equivocator");
+  EXPECT_STREQ(strategy_name(StrategyKind::kRandomPulser), "random-pulser");
+}
+
+}  // namespace
+}  // namespace ftgcs::byz

@@ -1,0 +1,255 @@
+// End-to-end FT-GCS system tests: the gradient property (Theorem 1.1 /
+// Theorem 4.10 shape), faithfulness (unanimity when conditions hold),
+// axiom A1 rate envelopes, paper-strict parameter verification, and
+// reproducibility.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ftgcs_system.h"
+#include "metrics/skew_tracker.h"
+#include "net/graph.h"
+
+namespace ftgcs::core {
+namespace {
+
+Params practical_params() { return Params::practical(1e-3, 1.0, 0.01, 1); }
+
+TEST(FtGcsSystem, RampAbsorptionKeepsLocalSkewWithinPrediction) {
+  // Clusters start on a steep ramp (per-edge gap ≈ 2.6κ); the gradient
+  // layer must absorb it without any edge exceeding the Theorem 4.10
+  // prediction for the initial global skew — in contrast to the tree
+  // baseline, which compresses the ramp onto single edges
+  // (test_tree_baselines.cpp).
+  const Params params = practical_params();
+  const int clusters = 6;
+  const int gap_rounds = 8;  // 8·T ≈ 2.8κ per edge
+
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 11;
+  for (int c = 0; c < clusters; ++c) {
+    config.cluster_round_offsets.push_back(c * gap_rounds);
+  }
+  FtGcsSystem system(net::Graph::line(clusters), std::move(config));
+  const double initial_global = (clusters - 1) * gap_rounds * params.T;
+  const double initial_local = gap_rounds * params.T;
+
+  metrics::SkewProbe probe(system, params.T / 4.0, 0.0);
+  probe.start();
+  system.start();
+  system.run_until(400.0 * params.T);
+
+  const double bound = params.predicted_local_skew(initial_global);
+  EXPECT_LE(probe.overall_max().cluster_local, bound);
+  // The gradient property in action: local skew never grew much beyond
+  // the initial per-edge gap (no compression!), ...
+  EXPECT_LE(probe.overall_max().cluster_local, 1.25 * initial_local);
+  // ... and the ramp is actually draining (catch-up + triggers at work;
+  // the drain proceeds roughly one cluster at a time at rate ≈ µ).
+  EXPECT_LT(probe.samples().back().cluster_global, 0.75 * initial_global);
+  EXPECT_EQ(system.total_violations(), 0u);
+}
+
+TEST(FtGcsSystem, SteeperRampStaysWithinHigherLevels) {
+  // Per-edge gap ≈ 5.6κ (> 2κ levels): fast triggers must engage and the
+  // bound κ·(levels+1) still holds.
+  const Params params = practical_params();
+  const int clusters = 5;
+  const int gap_rounds = 16;
+
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 13;
+  for (int c = 0; c < clusters; ++c) {
+    config.cluster_round_offsets.push_back(c * gap_rounds);
+  }
+  FtGcsSystem system(net::Graph::line(clusters), std::move(config));
+  const double initial_global = (clusters - 1) * gap_rounds * params.T;
+
+  metrics::SkewProbe probe(system, params.T / 4.0, 0.0);
+  probe.start();
+  system.start();
+  system.run_until(200.0 * params.T);
+
+  EXPECT_LE(probe.overall_max().cluster_local,
+            params.predicted_local_skew(initial_global));
+  // Fast triggers fired somewhere in the system.
+  std::uint64_t fast = 0;
+  for (int id = 0; id < system.topology().num_nodes(); ++id) {
+    fast += system.node(id).mode_counts()[static_cast<std::size_t>(
+        ModeReason::kFastTrigger)];
+  }
+  EXPECT_GT(fast, 0u);
+}
+
+TEST(FtGcsSystem, FaithfulnessConditionsImplyUnanimity) {
+  // Lemma 4.8's purpose: whenever the ground-truth fast (slow) condition
+  // holds for a cluster, every correct member is actually in fast (slow)
+  // mode. We sample at round-grain instants across an absorption run.
+  const Params params = practical_params();
+  const int clusters = 5;
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 17;
+  for (int c = 0; c < clusters; ++c) {
+    config.cluster_round_offsets.push_back(c * 10);
+  }
+  FtGcsSystem system(net::Graph::line(clusters), std::move(config));
+  system.start();
+
+  int fc_checks = 0;
+  int violations = 0;
+  for (int step = 1; step <= 400; ++step) {
+    system.run_until(step * params.T / 2.0);
+    // Ground-truth cluster clocks.
+    std::vector<double> clocks(clusters);
+    for (int c = 0; c < clusters; ++c) {
+      const auto value = system.cluster_clock(c);
+      ASSERT_TRUE(value.has_value());
+      clocks[c] = *value;
+    }
+    const auto& graph = system.topology().cluster_graph();
+    for (int c = 0; c < clusters; ++c) {
+      std::vector<double> neighbors;
+      for (int b : graph.neighbors(c)) neighbors.push_back(clocks[b]);
+      const TriggerView view{clocks[c], neighbors};
+      const bool fc = fast_condition(view, params.kappa);
+      const bool sc = slow_condition(view, params.kappa);
+      if (!fc && !sc) continue;
+      ++fc_checks;
+      for (int member : system.topology().members(c)) {
+        const int gamma = system.node(member).gamma();
+        if (fc && gamma != 1) ++violations;
+        if (sc && gamma != 0) ++violations;
+      }
+    }
+  }
+  EXPECT_GT(fc_checks, 20);  // conditions did hold at some instants
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(FtGcsSystem, AxiomA1RateEnvelope) {
+  // Logical clocks increase at rates within [1, ϑ_max] between samples.
+  const Params params = practical_params();
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 19;
+  for (int c = 0; c < 4; ++c) config.cluster_round_offsets.push_back(4 * c);
+  FtGcsSystem system(net::Graph::line(4), std::move(config));
+  system.start();
+
+  std::vector<double> previous(system.topology().num_nodes(), 0.0);
+  sim::Time prev_time = 0.0;
+  for (int c = 0; c < 4; ++c) {
+    for (int member : system.topology().members(c)) {
+      previous[member] = 4.0 * c * params.T;  // initial offsets
+    }
+  }
+  for (int step = 1; step <= 100; ++step) {
+    system.run_until(step * params.T / 2.0);
+    const sim::Time now = system.simulator().now();
+    for (int id = 0; id < system.topology().num_nodes(); ++id) {
+      const double value = system.node_logical(id);
+      const double rate = (value - previous[id]) / (now - prev_time);
+      EXPECT_GE(rate, 1.0 - 1e-9) << "node " << id << " step " << step;
+      EXPECT_LE(rate, params.max_logical_rate() + 1e-9)
+          << "node " << id << " step " << step;
+      previous[id] = value;
+    }
+    prev_time = now;
+  }
+}
+
+TEST(FtGcsSystem, PaperStrictParametersSmallScale) {
+  // The exact eq. (5) constants at ρ = 1e−6 on a 2-cluster system:
+  // rounds are enormous (T ≈ 10^5·d) but the invariants must hold.
+  const Params params = Params::paper_strict(1e-6, 1.0, 0.001, 1);
+  ASSERT_TRUE(params.feasible()) << params.feasibility_report();
+
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 23;
+  FtGcsSystem system(net::Graph::line(2), std::move(config));
+  metrics::SkewProbe probe(system, params.T / 2.0, 3.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(12.0 * params.T);
+
+  EXPECT_LE(probe.steady_max().intra_cluster,
+            params.intra_cluster_skew_bound());
+  EXPECT_LE(probe.steady_max().cluster_local, params.kappa);
+  EXPECT_EQ(system.total_violations(), 0u);
+  for (int id = 0; id < system.topology().num_nodes(); ++id) {
+    EXPECT_GE(system.node(id).round(), 11);
+  }
+}
+
+TEST(FtGcsSystem, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    const Params params = practical_params();
+    FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = seed;
+    FtGcsSystem system(net::Graph::ring(3), std::move(config));
+    system.start();
+    system.run_until(20.0 * params.T);
+    std::vector<double> values;
+    for (int id = 0; id < system.topology().num_nodes(); ++id) {
+      values.push_back(system.node_logical(id));
+    }
+    return values;
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  const auto c = run(100);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << "node " << i;
+  }
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != c[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(FtGcsSystem, WorksOnNonLineTopologies) {
+  for (const net::Graph& graph :
+       {net::Graph::ring(4), net::Graph::star(4), net::Graph::grid(2, 2)}) {
+    const Params params = practical_params();
+    FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 31;
+    FtGcsSystem system(net::Graph(graph), std::move(config));
+    metrics::SkewProbe probe(system, params.T / 2.0, 10.0 * params.T);
+    probe.start();
+    system.start();
+    system.run_until(40.0 * params.T);
+    EXPECT_LE(probe.steady_max().intra_cluster,
+              params.intra_cluster_skew_bound());
+    EXPECT_LE(probe.steady_max().cluster_local, params.kappa);
+    EXPECT_EQ(system.total_violations(), 0u);
+  }
+}
+
+TEST(FtGcsSystem, GlobalModuleCanBeDisabled) {
+  const Params params = practical_params();
+  FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 37;
+  config.enable_global_module = false;
+  FtGcsSystem system(net::Graph::line(3), std::move(config));
+  system.start();
+  system.run_until(30.0 * params.T);
+  std::uint64_t catchup = 0;
+  for (int id = 0; id < system.topology().num_nodes(); ++id) {
+    catchup += system.node(id).mode_counts()[static_cast<std::size_t>(
+        ModeReason::kMaxCatchUp)];
+  }
+  EXPECT_EQ(catchup, 0u);
+  EXPECT_EQ(system.total_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace ftgcs::core

@@ -1,0 +1,119 @@
+// Plain (non-fault-tolerant) GCS baseline: fault-free correctness, and the
+// paper's motivating negative result — one Byzantine node destroys the
+// local skew guarantee.
+#include "gcs/gcs_system.h"
+
+#include <gtest/gtest.h>
+
+#include "net/graph.h"
+
+namespace ftgcs::gcs {
+namespace {
+
+GcsParams baseline_params() {
+  return GcsParams::derive(/*rho=*/1e-3, /*d=*/1.0, /*U=*/0.1, /*mu=*/0.05,
+                           /*broadcast_period=*/1.0);
+}
+
+TEST(GcsParams, DerivedQuantitiesConsistent) {
+  const GcsParams p = baseline_params();
+  EXPECT_GT(p.estimate_error(), p.U / 2.0);
+  EXPECT_DOUBLE_EQ(p.slack, 2.0 * p.estimate_error());
+  EXPECT_DOUBLE_EQ(p.kappa, 3.0 * p.slack);
+}
+
+TEST(GcsBaseline, FaultFreeLineStaysLocallySynchronized) {
+  GcsSystem::Config config;
+  config.params = baseline_params();
+  config.seed = 21;
+  GcsSystem system(net::Graph::line(8), std::move(config));
+  system.start();
+  double worst_local = 0.0;
+  for (int step = 1; step <= 150; ++step) {
+    system.run_until(step * 2.0);
+    worst_local = std::max(worst_local, system.local_skew());
+  }
+  // Fault-free: local skew stays within a few κ levels.
+  EXPECT_LE(worst_local, 3.0 * config.params.kappa);
+  EXPECT_GT(system.node_logical(0), 0.0);
+}
+
+TEST(GcsBaseline, GlobalSkewBoundedFaultFree) {
+  GcsSystem::Config config;
+  config.params = baseline_params();
+  config.seed = 22;
+  const int n = 8;
+  GcsSystem system(net::Graph::line(n), std::move(config));
+  system.start();
+  system.run_until(300.0);
+  // Drift-limited: global skew ≪ ρ·t without correction would be 0.3;
+  // the gradient layer keeps neighbors within κ, so global ≤ (n−1)·κ.
+  EXPECT_LE(system.global_skew(), (n - 1) * baseline_params().kappa);
+}
+
+TEST(GcsBaseline, SingleByzantinePumpBreaksLocalSkew) {
+  // The motivating failure (paper §1): a Byzantine node on a ring
+  // advertises diverging clocks to its two sides. The remaining correct
+  // nodes form a path whose endpoints are dragged apart, so some pair of
+  // correct *neighbors* must absorb skew far beyond the fault-free level.
+  // (On a line the faulty node would disconnect the correct subgraph —
+  // the paper's degree-based impossibility argument.)
+  const GcsParams params = baseline_params();
+
+  auto run = [&](bool with_fault) {
+    GcsSystem::Config config;
+    config.params = params;
+    config.seed = 23;
+    if (with_fault) {
+      config.pump_nodes = {4};
+      config.pump_rate = 0.05;  // ≈ 50ρ equivalent — a patient liar
+    }
+    GcsSystem system(net::Graph::ring(9), std::move(config));
+    system.start();
+    double worst_local = 0.0;
+    for (int step = 1; step <= 400; ++step) {
+      system.run_until(step * 2.0);
+      worst_local = std::max(worst_local, system.local_skew());
+    }
+    return worst_local;
+  };
+
+  const double clean = run(false);
+  const double attacked = run(true);
+  EXPECT_GT(attacked, 3.0 * clean);
+  EXPECT_GT(attacked, 2.0 * params.kappa);
+}
+
+TEST(GcsBaseline, ObliviousRuleAlsoSynchronizesFaultFree) {
+  GcsSystem::Config config;
+  config.params = GcsParams::derive_oblivious(1e-3, 1.0, 0.1, 0.05, 1.0,
+                                              /*diameter=*/7);
+  config.seed = 29;
+  GcsSystem system(net::Graph::line(8), std::move(config));
+  system.start();
+  double worst_local = 0.0;
+  for (int step = 1; step <= 150; ++step) {
+    system.run_until(step * 2.0);
+    worst_local = std::max(worst_local, system.local_skew());
+  }
+  // The oblivious rule guarantees only O(√D·κ)-flavored local skew.
+  EXPECT_LE(worst_local, config.params.blocking + config.params.kappa);
+}
+
+TEST(GcsBaseline, EstimatesTrackNeighborsWithinError) {
+  GcsSystem::Config config;
+  config.params = baseline_params();
+  config.seed = 31;
+  GcsSystem system(net::Graph::line(4), std::move(config));
+  system.start();
+  system.run_until(50.0);
+  // Spot-check: node 1's estimate of node 2 within the derived ε bound
+  // plus the µ-mode divergence since the last share.
+  // (GcsSystem lacks direct estimate access; assert logical values close,
+  // which the trigger layer can only achieve through sound estimates.)
+  EXPECT_LE(std::abs(system.node_logical(1) - system.node_logical(2)),
+            config.params.kappa);
+}
+
+}  // namespace
+}  // namespace ftgcs::gcs

@@ -1,0 +1,114 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ftgcs::net {
+namespace {
+
+TEST(Graph, LineBasics) {
+  const Graph g = Graph::line(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.diameter(), 4);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, SingleVertexLine) {
+  const Graph g = Graph::line(1);
+  EXPECT_EQ(g.num_vertices(), 1);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.diameter(), 0);
+}
+
+TEST(Graph, RingBasics) {
+  const Graph g = Graph::ring(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.diameter(), 3);
+  for (int v = 0; v < 6; ++v) EXPECT_EQ(g.neighbors(v).size(), 2u);
+}
+
+TEST(Graph, StarBasics) {
+  const Graph g = Graph::star(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.diameter(), 2);
+  EXPECT_EQ(g.neighbors(0).size(), 6u);
+}
+
+TEST(Graph, CliqueBasics) {
+  const Graph g = Graph::clique(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+  EXPECT_EQ(g.diameter(), 1);
+}
+
+TEST(Graph, GridBasics) {
+  const Graph g = Graph::grid(4, 3);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), static_cast<std::size_t>(3 * 3 + 4 * 2));
+  EXPECT_EQ(g.diameter(), 3 + 2);
+}
+
+TEST(Graph, TorusBasics) {
+  const Graph g = Graph::torus(4, 4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32u);  // 2 edges per vertex
+  EXPECT_EQ(g.diameter(), 4);     // 2 + 2
+}
+
+TEST(Graph, BalancedTreeBasics) {
+  const Graph g = Graph::balanced_tree(2, 3);  // 1+2+4+8 = 15 vertices
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_EQ(g.num_edges(), 14u);
+  EXPECT_TRUE(g.connected());
+  EXPECT_EQ(g.diameter(), 6);
+}
+
+TEST(Graph, HypercubeBasics) {
+  const Graph g = Graph::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32u);  // n·dim/2
+  EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(Graph, GnpIsConnectedAndDeterministic) {
+  const Graph a = Graph::gnp_connected(20, 0.2, 7);
+  const Graph b = Graph::gnp_connected(20, 0.2, 7);
+  EXPECT_TRUE(a.connected());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (int v = 0; v < 20; ++v) {
+    EXPECT_EQ(a.neighbors(v), b.neighbors(v));
+  }
+}
+
+TEST(Graph, BfsDistances) {
+  const Graph g = Graph::line(5);
+  const auto dist = g.bfs_distances(2);
+  EXPECT_EQ(dist, (std::vector<int>{2, 1, 0, 1, 2}));
+}
+
+TEST(Graph, BfsTreeParents) {
+  const Graph g = Graph::line(4);
+  const auto parent = g.bfs_tree(0);
+  EXPECT_EQ(parent, (std::vector<int>{-1, 0, 1, 2}));
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.connected());
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  const Graph g = Graph::gnp_connected(15, 0.3, 3);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    for (int w : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(w, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftgcs::net

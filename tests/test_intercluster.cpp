@@ -1,0 +1,112 @@
+// InterclusterController decision policy (Algorithm 2 + Theorem C.3):
+// priority FT > ST > catch-up > default-slow, and the weighted variant.
+#include "core/intercluster.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftgcs::core {
+namespace {
+
+constexpr double kKappa = 3.0;
+constexpr double kSlack = 1.0;  // δ = κ/3, the Lemma 4.8 choice
+constexpr double kCGlobal = 6.0;
+
+InterclusterController controller(bool global_module = true) {
+  return InterclusterController(kKappa, kSlack, kCGlobal, global_module);
+}
+
+TEST(Intercluster, FastTriggerWins) {
+  const auto ctl = controller();
+  // Neighbor 2κ−δ = 5 ahead → FT(s=1).
+  const std::vector<double> ests{6.0};
+  const ModeDecision d = ctl.decide(0.0, ests, 0.0);
+  EXPECT_EQ(d.gamma, 1);
+  EXPECT_EQ(d.reason, ModeReason::kFastTrigger);
+}
+
+TEST(Intercluster, SlowTriggerWhenAhead) {
+  const auto ctl = controller();
+  // We lead by κ−δ = 2 → ST(s=1).
+  const std::vector<double> ests{-2.5};
+  const ModeDecision d = ctl.decide(0.0, ests, 0.0);
+  EXPECT_EQ(d.gamma, 0);
+  EXPECT_EQ(d.reason, ModeReason::kSlowTrigger);
+}
+
+TEST(Intercluster, CatchUpWhenNoTriggerAndFarBehindMax) {
+  const auto ctl = controller();
+  // Neighbors level with us (no triggers), but M says the system max is
+  // far ahead: L ≤ M − c·δ = M − 6.
+  const std::vector<double> ests{0.5};
+  const ModeDecision d = ctl.decide(0.0, ests, 7.0);
+  EXPECT_EQ(d.gamma, 1);
+  EXPECT_EQ(d.reason, ModeReason::kMaxCatchUp);
+}
+
+TEST(Intercluster, SlowTriggerBeatsCatchUp) {
+  const auto ctl = controller();
+  // ST holds AND we are far behind the max: Theorem C.3's policy obeys
+  // the triggers first (the second rule applies only "if neither holds").
+  const std::vector<double> ests{-2.5};
+  const ModeDecision d = ctl.decide(0.0, ests, 100.0);
+  EXPECT_EQ(d.gamma, 0);
+  EXPECT_EQ(d.reason, ModeReason::kSlowTrigger);
+}
+
+TEST(Intercluster, DefaultSlowOtherwise) {
+  const auto ctl = controller();
+  const std::vector<double> ests{0.5, -0.5};
+  const ModeDecision d = ctl.decide(0.0, ests, 1.0);
+  EXPECT_EQ(d.gamma, 0);
+  EXPECT_EQ(d.reason, ModeReason::kDefaultSlow);
+}
+
+TEST(Intercluster, DisabledGlobalModuleNeverCatchesUp) {
+  const auto ctl = controller(/*global_module=*/false);
+  const std::vector<double> ests{0.0};
+  const ModeDecision d = ctl.decide(0.0, ests, 1000.0);
+  EXPECT_EQ(d.gamma, 0);
+  EXPECT_EQ(d.reason, ModeReason::kDefaultSlow);
+}
+
+TEST(Intercluster, IsolatedClusterUsesCatchUpOnly) {
+  const auto ctl = controller();
+  const std::vector<double> no_neighbors;
+  EXPECT_EQ(ctl.decide(0.0, no_neighbors, 100.0).reason,
+            ModeReason::kMaxCatchUp);
+  EXPECT_EQ(ctl.decide(0.0, no_neighbors, 1.0).reason,
+            ModeReason::kDefaultSlow);
+}
+
+TEST(Intercluster, WeightedDecisionMirrorsUniform) {
+  const auto ctl = controller();
+  const std::vector<double> ests{6.0, -1.0};
+  const std::vector<double> kappas{kKappa, kKappa};
+  const std::vector<double> slacks{kSlack, kSlack};
+  const ModeDecision uniform = ctl.decide(0.0, ests, 0.0);
+  const ModeDecision weighted =
+      ctl.decide_weighted(0.0, ests, kappas, slacks, 0.0);
+  EXPECT_EQ(uniform.gamma, weighted.gamma);
+  EXPECT_EQ(uniform.reason, weighted.reason);
+}
+
+TEST(Intercluster, WeightedHeavyEdgeSuppressesTrigger) {
+  const auto ctl = controller();
+  const std::vector<double> ests{6.0};  // FT on a unit edge
+  const std::vector<double> heavy_kappas{3.0 * kKappa};
+  const std::vector<double> slacks{kSlack};
+  const ModeDecision d =
+      ctl.decide_weighted(0.0, ests, heavy_kappas, slacks, 0.0);
+  EXPECT_EQ(d.reason, ModeReason::kDefaultSlow);
+}
+
+TEST(Intercluster, RejectsNonExclusiveSlack) {
+  // δ ≥ 2κ violates even the paper's (loose) Lemma 4.5 precondition.
+  EXPECT_DEATH(InterclusterController(1.0, 2.0, kCGlobal, true),
+               "precondition");
+}
+
+}  // namespace
+}  // namespace ftgcs::core

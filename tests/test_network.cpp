@@ -1,0 +1,182 @@
+// Network dispatch: delivery to all neighbors + loopback, delay bounds,
+// Byzantine delay control, message accounting; delay-model properties.
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "net/augmented.h"
+#include "net/channel.h"
+#include "net/graph.h"
+
+namespace ftgcs::net {
+namespace {
+
+struct Fixture {
+  sim::Simulator sim;
+  Network network;
+  std::map<int, std::vector<std::pair<int, sim::Time>>> received;
+
+  explicit Fixture(const Graph& g, std::unique_ptr<DelayModel> delays =
+                                       nullptr)
+      : network(sim, g.adjacency(),
+                delays ? std::move(delays)
+                       : std::make_unique<UniformDelay>(1.0, 0.2),
+                sim::Rng(5)) {
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      network.register_handler(v, [this, v](const Pulse& p, sim::Time t) {
+        received[v].emplace_back(p.sender, t);
+      });
+    }
+  }
+};
+
+TEST(Network, BroadcastReachesAllNeighborsAndSelf) {
+  Fixture fx(Graph::star(4));  // hub 0 with leaves 1..3
+  Pulse pulse;
+  pulse.sender = 0;
+  fx.network.broadcast(0, pulse);
+  fx.sim.run_until(2.0);
+  EXPECT_EQ(fx.received[0].size(), 1u);  // loopback
+  for (int leaf = 1; leaf <= 3; ++leaf) {
+    ASSERT_EQ(fx.received[leaf].size(), 1u);
+    EXPECT_EQ(fx.received[leaf][0].first, 0);
+  }
+}
+
+TEST(Network, LeafBroadcastOnlyReachesHubAndSelf) {
+  Fixture fx(Graph::star(4));
+  Pulse pulse;
+  pulse.sender = 2;
+  fx.network.broadcast(2, pulse);
+  fx.sim.run_until(2.0);
+  EXPECT_EQ(fx.received[0].size(), 1u);
+  EXPECT_EQ(fx.received[2].size(), 1u);
+  EXPECT_TRUE(fx.received[1].empty());
+  EXPECT_TRUE(fx.received[3].empty());
+}
+
+TEST(Network, DeliveryTimesRespectDelayBounds) {
+  Fixture fx(Graph::clique(5));
+  for (int round = 0; round < 20; ++round) {
+    Pulse pulse;
+    pulse.sender = round % 5;
+    fx.network.broadcast(pulse.sender, pulse);
+  }
+  fx.sim.run_until(10.0);
+  for (const auto& [node, pulses] : fx.received) {
+    for (const auto& [sender, at] : pulses) {
+      // All sends happened at t=0.
+      EXPECT_GE(at, 0.8 - 1e-12);
+      EXPECT_LE(at, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Network, UnicastDeliversOnlyToTarget) {
+  Fixture fx(Graph::clique(4));
+  Pulse pulse;
+  pulse.sender = 0;
+  fx.network.unicast(0, 2, pulse);
+  fx.sim.run_until(2.0);
+  EXPECT_EQ(fx.received[2].size(), 1u);
+  EXPECT_TRUE(fx.received[1].empty());
+  EXPECT_TRUE(fx.received[3].empty());
+  EXPECT_TRUE(fx.received[0].empty());  // unicast has no loopback
+}
+
+TEST(Network, ByzantineDelayControlWithinBounds) {
+  Fixture fx(Graph::line(2));
+  Pulse pulse;
+  pulse.sender = 0;
+  fx.network.unicast_with_delay(0, 1, pulse, 0.8);  // min delay
+  fx.sim.run_until(2.0);
+  ASSERT_EQ(fx.received[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(fx.received[1][0].second, 0.8);
+}
+
+TEST(Network, MessageCountersTrack) {
+  Fixture fx(Graph::clique(3));
+  Pulse pulse;
+  pulse.sender = 0;
+  fx.network.broadcast(0, pulse);  // self + 2 neighbors = 3 messages
+  fx.sim.run_until(2.0);
+  EXPECT_EQ(fx.network.messages_sent(), 3u);
+  EXPECT_EQ(fx.network.messages_delivered(), 3u);
+}
+
+TEST(Network, AreNeighborsMatchesGraph) {
+  Fixture fx(Graph::line(3));
+  EXPECT_TRUE(fx.network.are_neighbors(0, 1));
+  EXPECT_FALSE(fx.network.are_neighbors(0, 2));
+}
+
+TEST(DelayModels, UniformWithinBounds) {
+  UniformDelay model(2.0, 0.5);
+  sim::Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double delay = model.sample(0, 1, rng);
+    EXPECT_GE(delay, 1.5);
+    EXPECT_LE(delay, 2.0);
+  }
+}
+
+TEST(DelayModels, FixedIsDeterministic) {
+  FixedDelay model(2.0, 0.5, 0.5);
+  sim::Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.sample(0, 1, rng), 1.75);
+  FixedDelay max_model(2.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(max_model.sample(0, 1, rng), 2.0);
+  FixedDelay min_model(2.0, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(min_model.sample(0, 1, rng), 1.5);
+}
+
+TEST(DelayModels, TwoPointOnlyExtremes) {
+  TwoPointDelay model(1.0, 0.3);
+  sim::Rng rng(2);
+  int lo = 0, hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double delay = model.sample(0, 1, rng);
+    if (delay == 0.7) ++lo;
+    else if (delay == 1.0) ++hi;
+    else FAIL() << "unexpected delay " << delay;
+  }
+  EXPECT_GT(lo, 400);
+  EXPECT_GT(hi, 400);
+}
+
+TEST(DelayModels, DirectionalBias) {
+  DirectionalDelay model(1.0, 0.3);
+  sim::Rng rng(3);
+  EXPECT_DOUBLE_EQ(model.sample(2, 5, rng), 1.0);
+  EXPECT_DOUBLE_EQ(model.sample(5, 2, rng), 0.7);
+}
+
+TEST(Network, WorksOnAugmentedTopology) {
+  const AugmentedTopology topo(Graph::line(2), 4);
+  Fixture fx(Graph::line(1));  // placeholder; build real one below
+  sim::Simulator sim;
+  Network network(sim, topo.adjacency(),
+                  std::make_unique<UniformDelay>(1.0, 0.1), sim::Rng(9));
+  std::vector<int> count(topo.num_nodes(), 0);
+  for (int v = 0; v < topo.num_nodes(); ++v) {
+    network.register_handler(v, [&count, v](const Pulse&, sim::Time) {
+      ++count[v];
+    });
+  }
+  Pulse pulse;
+  pulse.sender = 0;  // member 0 of cluster 0
+  network.broadcast(0, pulse);
+  sim.run_until(2.0);
+  // Reaches self + 3 cluster peers + 4 members of cluster 1.
+  int total = 0;
+  for (int c : count) total += c;
+  EXPECT_EQ(total, 8);
+  EXPECT_EQ(count[0], 1);
+  EXPECT_EQ(count[7], 1);
+}
+
+}  // namespace
+}  // namespace ftgcs::net

@@ -1,0 +1,189 @@
+// Parameter derivations: equations (5), (10), (11), Lemma 4.8, Prop. 4.11,
+// Inequality (1).
+#include "core/params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ftgcs::core {
+namespace {
+
+TEST(Params, PaperStrictMatchesEquationFive) {
+  const double rho = 1e-5;
+  const Params p = Params::paper_strict(rho, 1.0, 0.01, 1);
+  EXPECT_DOUBLE_EQ(p.c2, 32.0);
+  EXPECT_DOUBLE_EQ(p.mu, 32.0 * rho);
+  EXPECT_DOUBLE_EQ(p.eps, 1.0 / 4096.0);
+  EXPECT_NEAR(p.c1, (0.5 - 1.0 / 4096.0) / 33.0 / rho, 1e-6);
+  EXPECT_DOUBLE_EQ(p.phi, 1.0 / p.c1);
+  EXPECT_EQ(p.k, 4);
+}
+
+TEST(Params, PaperStrictFeasibleForSmallRho) {
+  // α_g = 1 − ε + Θ(ρ) with the Θ(ρ) constant ≈ 4(1+c2)² ≈ 132 for
+  // c2 = 32; the paper's "sufficiently small ρ" therefore means
+  // ρ ≲ ε/132 ≈ 1.8e−6 — genuinely tiny, as the paper warns.
+  for (double rho : {1e-8, 1e-7, 1e-6}) {
+    const Params p = Params::paper_strict(rho, 1.0, 0.001, 1);
+    EXPECT_TRUE(p.feasible())
+        << "rho = " << rho << "\n" << p.feasibility_report();
+    // 1 − α ≈ ε, the paper's contraction margin (both recurrences).
+    EXPECT_NEAR(1.0 - p.alpha, p.eps, 150.0 * rho) << "rho = " << rho;
+    EXPECT_NEAR(1.0 - p.rec_general.alpha, p.eps, 250.0 * rho)
+        << "rho = " << rho;
+  }
+  // ... and infeasible once ρ crosses that threshold.
+  EXPECT_FALSE(Params::paper_strict(1e-5, 1.0, 0.001, 1).feasible());
+}
+
+TEST(Params, RoundLengthsSatisfyEquationFour) {
+  const Params p = Params::practical(1e-3, 1.0, 0.01, 1);
+  const double zeta_max = (1.0 + p.phi) * (1.0 + p.mu);
+  EXPECT_DOUBLE_EQ(p.tau1, zeta_max * p.theta_g * p.E);
+  EXPECT_DOUBLE_EQ(p.tau2, zeta_max * p.theta_g * (p.E + p.d));
+  EXPECT_DOUBLE_EQ(p.tau3, p.c1 * zeta_max * p.theta_g * (p.E + p.U));
+  EXPECT_DOUBLE_EQ(p.T, p.tau1 + p.tau2 + p.tau3);
+}
+
+TEST(Params, PhaseWindowsCoverWorstCaseArrivals) {
+  // The property eq. (10) violates for non-vanishing ϕ (see params.h
+  // reproduction note): a phase-1+2 window must span the worst-case pulse
+  // spread plus delay at the maximum phase-1–2 logical rate.
+  for (int f : {0, 1, 2}) {
+    const Params p = Params::practical(1e-3, 1.0, 0.01, f);
+    const double max_rate = (1.0 + p.phi) * (1.0 + p.mu) * (1.0 + p.rho);
+    EXPECT_GE(p.tau1 / max_rate, p.E);
+    EXPECT_GE(p.tau2 / max_rate, p.E + p.d);
+  }
+}
+
+TEST(Params, FixedPointSolvesRecurrence) {
+  // E must satisfy E = α·E + β for the Claim B.15 general recurrence.
+  const Params p = Params::practical(1e-3, 1.0, 0.01, 2);
+  EXPECT_NEAR(p.E, p.rec_general.iterate(p.E), 1e-9);
+}
+
+TEST(Params, AlphaSimplificationMatchesPaperForm) {
+  // α = (6ϑ²ϕ+5ϑϕ−9ϕ+2ϑ²−2)/(2ϕ(ϑ+1)) — check our simplified form.
+  const Params p = Params::practical(5e-4, 1.0, 0.02, 1);
+  const double th = p.theta_g;
+  const double paper_alpha =
+      (6.0 * th * th * p.phi + 5.0 * th * p.phi - 9.0 * p.phi +
+       2.0 * th * th - 2.0) /
+      (2.0 * p.phi * (th + 1.0));
+  EXPECT_NEAR(p.alpha, paper_alpha, 1e-12);
+}
+
+TEST(Params, TriggerParamsFollowLemma48) {
+  const Params p = Params::practical(1e-3, 1.0, 0.01, 1);
+  EXPECT_DOUBLE_EQ(p.delta_trig, (p.k_unanimity + 5.0) * p.E);
+  EXPECT_DOUBLE_EQ(p.kappa, 3.0 * p.delta_trig);
+  EXPECT_LT(p.delta_trig, 2.0 * p.kappa);  // Lemma 4.5 precondition
+}
+
+TEST(Params, GcsAxiomA4Holds) {
+  for (double rho : {1e-5, 1e-4, 1e-3}) {
+    const Params p = Params::practical(rho, 1.0, 0.01, 1);
+    EXPECT_GT(p.mu_bar(), p.rho_bar()) << "rho = " << rho;
+    EXPECT_GT(p.gcs_base(), 1.0);
+  }
+}
+
+TEST(Params, PracticalFeasibleAcrossInputSweep) {
+  for (double rho : {1e-5, 1e-4, 5e-4, 1e-3}) {
+    for (double U : {0.001, 0.01, 0.1}) {
+      for (int f : {0, 1, 2, 3}) {
+        const Params p = Params::practical(rho, 1.0, U, f);
+        EXPECT_TRUE(p.feasible())
+            << "rho=" << rho << " U=" << U << " f=" << f << "\n"
+            << p.feasibility_report();
+        EXPECT_EQ(p.k, 3 * f + 1);
+        EXPECT_GT(p.E, 0.0);
+        EXPECT_GT(p.T, 0.0);
+      }
+    }
+  }
+}
+
+TEST(Params, EScalesAsRhoDPlusU) {
+  // Corollary 3.2 / Theorem 1.1: E = O(ρd + U). Doubling U roughly
+  // doubles E at fixed small ρ; scaling d scales the ρ·d contribution.
+  const Params base = Params::practical(1e-4, 1.0, 0.01, 1);
+  const Params twice_u = Params::practical(1e-4, 1.0, 0.02, 1);
+  EXPECT_GT(twice_u.E, 1.5 * base.E / 2.0);
+  EXPECT_LT(twice_u.E, 2.5 * base.E);
+
+  const Params big_d = Params::practical(1e-4, 10.0, 0.01, 1);
+  EXPECT_GT(big_d.E, base.E);  // ρ·d term grew
+}
+
+TEST(Params, UnanimousRecurrencesContractFaster) {
+  const Params p = Params::practical(1e-4, 1.0, 0.01, 1);
+  ASSERT_TRUE(p.unanimity_analysis_valid);
+  // Unanimous executions converge to much smaller steady-state error
+  // (Claim B.17's separation).
+  EXPECT_LT(p.rec_fast.fixed_point(), p.rec_general.fixed_point());
+  EXPECT_LT(p.rec_slow.fixed_point(), p.rec_general.fixed_point());
+  EXPECT_GT(p.k_unanimity, 0);
+  EXPECT_LE(p.k_unanimity, 64);
+}
+
+TEST(Params, CustomOverridesMuPhi) {
+  const Params p = Params::custom(1e-3, 1.0, 0.01, 1, 0.02, 0.3);
+  EXPECT_DOUBLE_EQ(p.mu, 0.02);
+  EXPECT_DOUBLE_EQ(p.phi, 0.3);
+  EXPECT_DOUBLE_EQ(p.c2, 20.0);
+}
+
+TEST(Params, LocalSkewPredictionShape) {
+  const Params p = Params::practical(1e-3, 1.0, 0.01, 1);
+  // At or below κ of global skew: one level.
+  EXPECT_DOUBLE_EQ(p.predicted_local_skew(p.kappa / 2.0), p.kappa);
+  // Monotone in the global skew, logarithmically.
+  const double s1 = p.predicted_local_skew(10.0 * p.kappa);
+  const double s2 = p.predicted_local_skew(100.0 * p.kappa);
+  const double s3 = p.predicted_local_skew(1000.0 * p.kappa);
+  EXPECT_LT(s1, s2);
+  EXPECT_LT(s2, s3);
+  // Log shape: equal multiplicative steps add equal increments (±1 level).
+  EXPECT_NEAR((s3 - s2) / p.kappa, (s2 - s1) / p.kappa, 1.01);
+}
+
+TEST(ClusterFailure, ProbabilityMatchesBinomialTail) {
+  // f = 1, k = 4: P[X > 1] = 1 − (1−p)⁴ − 4p(1−p)³.
+  const double p = 0.05;
+  const double expected =
+      1.0 - std::pow(1.0 - p, 4) - 4.0 * p * std::pow(1.0 - p, 3);
+  EXPECT_NEAR(cluster_failure_probability(1, p), expected, 1e-12);
+}
+
+TEST(ClusterFailure, BoundDominatesProbability) {
+  // Inequality (1): P[cluster fails] ≤ (3ep)^(f+1).
+  for (int f : {0, 1, 2, 3, 5}) {
+    for (double p : {0.001, 0.01, 0.05, 0.1}) {
+      EXPECT_LE(cluster_failure_probability(f, p),
+                cluster_failure_bound(f, p) + 1e-12)
+          << "f=" << f << " p=" << p;
+    }
+  }
+}
+
+TEST(ClusterFailure, EdgeCases) {
+  EXPECT_DOUBLE_EQ(cluster_failure_probability(1, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cluster_failure_probability(1, 1.0), 1.0);
+  EXPECT_NEAR(cluster_failure_probability(0, 0.3), 0.3, 1e-12);
+}
+
+TEST(ClusterFailure, LargerFImprovesReliability) {
+  const double p = 0.02;
+  double previous = 1.0;
+  for (int f = 0; f <= 4; ++f) {
+    const double prob = cluster_failure_probability(f, p);
+    EXPECT_LT(prob, previous);
+    previous = prob;
+  }
+}
+
+}  // namespace
+}  // namespace ftgcs::core

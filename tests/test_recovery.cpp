@@ -1,0 +1,148 @@
+// Transient-fault recovery: the Lynch–Welch correction path contracts
+// perturbations geometrically (the property the self-stabilizing variant
+// of Khanchandani–Lenzen [8] builds on). Within the proper-execution
+// margins, a corrupted clock re-converges; beyond them, violations are
+// recorded (full self-stabilization is documented out of scope).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ftgcs.h"
+
+namespace ftgcs::core {
+namespace {
+
+Params params() { return Params::practical(1e-3, 1.0, 0.01, 1); }
+
+TEST(Recovery, SmallPerturbationReconverges) {
+  const Params p = params();
+  FtGcsSystem::Config config;
+  config.params = p;
+  config.seed = 1;
+  FtGcsSystem system(net::Graph::line(2), std::move(config));
+  const int victim = system.topology().node(0, 0);
+  // Perturb by half the steady-state budget, mid-run.
+  system.node(victim).inject_transient_fault_at(20.0 * p.T, 0.5 * p.E);
+  system.start();
+  system.run_until(20.0 * p.T + p.T / 2.0);
+
+  // Right after injection the victim sticks out.
+  const auto mid = metrics::measure_skews(system.snapshot(),
+                                          system.topology());
+  EXPECT_GE(mid.intra_cluster, 0.3 * p.E);
+
+  // Within a handful of rounds the cluster re-converges to its usual
+  // tight band (well below E).
+  system.run_until(40.0 * p.T);
+  const auto after = metrics::measure_skews(system.snapshot(),
+                                            system.topology());
+  EXPECT_LE(after.intra_cluster, 0.2 * p.E);
+  EXPECT_EQ(system.total_violations(), 0u);
+}
+
+TEST(Recovery, ContractionIsGeometric) {
+  // Track the victim's distance to its cluster-mates round by round: it
+  // must decay by at least the recurrence contraction α per round.
+  const Params p = params();
+  FtGcsSystem::Config config;
+  config.params = p;
+  config.seed = 2;
+  FtGcsSystem system(net::Graph::line(1), std::move(config));
+  const int victim = system.topology().node(0, 0);
+  const double offset = 0.8 * p.phi * p.tau3;  // inside the clamp margin
+  system.node(victim).inject_transient_fault_at(10.0 * p.T, offset);
+  system.start();
+
+  std::vector<double> distance;
+  for (int round = 0; round < 12; ++round) {
+    system.run_until((11.0 + round) * p.T);
+    double others = 0.0;
+    int count = 0;
+    for (int member : system.topology().members(0)) {
+      if (member == victim) continue;
+      others += system.node_logical(member);
+      ++count;
+    }
+    distance.push_back(
+        std::abs(system.node_logical(victim) - others / count));
+  }
+  // Contraction: after 6 rounds the residual is a small fraction.
+  EXPECT_LE(distance[5], 0.25 * distance[0]);
+  // And monotone-ish decay until it reaches the noise floor.
+  EXPECT_LT(distance[3], distance[0]);
+}
+
+TEST(Recovery, LargePerturbationRecoversScheduleButNotValue) {
+  // A jump of several round lengths exceeds what one correction can
+  // absorb. What happens — a subtle property of the non-stabilizing
+  // algorithm worth pinning down — is that the victim re-acquires the
+  // round *schedule* (its pulses re-align with the cluster modulo T via
+  // repeated clamped corrections) but its logical *value* remains offset
+  // by a whole number of rounds forever: round numbers are never
+  // transmitted, so nothing can tell the victim which round it is in.
+  // Re-synchronizing the value is exactly what the self-stabilizing
+  // wrapper of [8] adds (out of scope here). We verify:
+  //  (1) the incident is transiently visible (starved rounds),
+  //  (2) the other members stay tight throughout,
+  //  (3) the victim's residual offset snaps near a multiple of T.
+  const Params p = params();
+  FtGcsSystem::Config config;
+  config.params = p;
+  config.seed = 3;
+  FtGcsSystem system(net::Graph::line(1), std::move(config));
+  const int victim = system.topology().node(0, 0);
+  system.node(victim).inject_transient_fault_at(10.0 * p.T, 2.5 * p.T);
+  system.start();
+  system.run_until(80.0 * p.T);
+
+  // (1) The victim transiently lost the round structure — and observed it.
+  EXPECT_GT(system.node(victim).engine().starved_rounds(), 0u);
+
+  // (2) The other members remain mutually synchronized.
+  const auto& members = system.topology().members(0);
+  double lo = 1e300;
+  double hi = -1e300;
+  double others_mean = 0.0;
+  int count = 0;
+  for (int member : members) {
+    if (member == victim) continue;
+    const double value = system.node_logical(member);
+    lo = std::min(lo, value);
+    hi = std::max(hi, value);
+    others_mean += value;
+    ++count;
+  }
+  others_mean /= count;
+  EXPECT_LE(hi - lo, p.intra_cluster_skew_bound());
+  for (int member : members) {
+    if (member == victim) continue;
+    EXPECT_EQ(system.node(member).engine().starved_rounds(), 0u);
+  }
+
+  // (3) Schedule recovered, value offset ≈ a whole number of rounds.
+  const double residual = system.node_logical(victim) - others_mean;
+  EXPECT_GT(residual, 0.5 * p.T);  // never re-converged in value
+  const double rounds_off = residual / p.T;
+  EXPECT_NEAR(rounds_off, std::round(rounds_off), 0.1)
+      << "residual " << residual << " T " << p.T;
+}
+
+TEST(Recovery, PerturbationDoesNotPropagateAcrossClusters) {
+  // A transient fault in cluster 0 must not drag cluster 1 beyond its
+  // trigger slack: the estimate replicas trim the victim's pulses.
+  const Params p = params();
+  FtGcsSystem::Config config;
+  config.params = p;
+  config.seed = 4;
+  FtGcsSystem system(net::Graph::line(2), std::move(config));
+  const int victim = system.topology().node(0, 0);
+  system.node(victim).inject_transient_fault_at(15.0 * p.T, 2.0 * p.E);
+  system.start();
+  system.run_until(60.0 * p.T);
+  const double gap =
+      std::abs(*system.cluster_clock(0) - *system.cluster_clock(1));
+  EXPECT_LE(gap, p.kappa);
+}
+
+}  // namespace
+}  // namespace ftgcs::core

@@ -1,0 +1,87 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ftgcs::sim {
+namespace {
+
+TEST(Simulator, TimeAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<Time> seen;
+  sim.at(1.5, [&] { seen.push_back(sim.now()); });
+  sim.at(0.5, [&] { seen.push_back(sim.now()); });
+  sim.run_until(10.0);
+  EXPECT_EQ(seen, (std::vector<Time>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  sim.at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);  // event at exactly t_end fires
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 5) sim.after(1.0, chain);
+  };
+  sim.after(1.0, chain);
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, AfterZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  sim.at(4.0, [&] {
+    sim.after(0.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 4.0); });
+  });
+  sim.run_until(5.0);
+}
+
+TEST(Simulator, CancelStopsPendingEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(2.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CountersTrackActivity) {
+  Simulator sim;
+  sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  const EventId id = sim.at(3.0, [] {});
+  sim.cancel(id);
+  sim.run_until(10.0);
+  EXPECT_EQ(sim.scheduled_events(), 3u);
+  EXPECT_EQ(sim.fired_events(), 2u);
+  EXPECT_TRUE(sim.idle());
+}
+
+}  // namespace
+}  // namespace ftgcs::sim

@@ -1,0 +1,45 @@
+// End-to-end smoke test: a small FT-GCS system runs, makes rounds,
+// and keeps skews bounded. Detailed invariants live in the per-module
+// tests; this exists to catch wiring regressions fast.
+#include <gtest/gtest.h>
+
+#include "core/ftgcs_system.h"
+#include "metrics/skew_tracker.h"
+#include "net/graph.h"
+
+namespace ftgcs {
+namespace {
+
+TEST(Smoke, LineOfClustersRunsAndStaysSynchronized) {
+  core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  ASSERT_TRUE(params.feasible()) << params.feasibility_report();
+
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 42;
+  core::FtGcsSystem system(net::Graph::line(4), std::move(config));
+
+  metrics::SkewProbe probe(system, params.T / 2.0, 20.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(60.0 * params.T);
+
+  // Every correct node made progress through the rounds.
+  const auto& topo = system.topology();
+  for (int id = 0; id < topo.num_nodes(); ++id) {
+    ASSERT_TRUE(system.is_correct(id));
+    EXPECT_GE(system.node(id).round(), 55);
+    EXPECT_EQ(system.node(id).engine().violations(), 0u);
+  }
+
+  ASSERT_TRUE(probe.has_steady_samples());
+  // Intra-cluster skew within the Corollary 3.2 bound.
+  EXPECT_LE(probe.steady_max().intra_cluster,
+            params.intra_cluster_skew_bound());
+  // Local cluster skew within the (generous) Theorem 4.10 shape.
+  EXPECT_LE(probe.steady_max().cluster_local,
+            params.predicted_local_skew(100.0 * params.kappa));
+}
+
+}  // namespace
+}  // namespace ftgcs

@@ -1,0 +1,111 @@
+// Randomized soak: the system invariants must hold across arbitrary
+// combinations of topology, drift model, delay adversary, fault strategy,
+// and seed. Each instance draws one configuration deterministically from
+// its seed, so failures reproduce exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ftgcs.h"
+#include "sim/rng.h"
+
+namespace ftgcs {
+namespace {
+
+class Soak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Soak, RandomConfigurationKeepsInvariants) {
+  sim::Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+
+  const int f = 1 + static_cast<int>(rng.below(2));  // 1..2
+  const double rho = rng.uniform(1e-4, 1e-3);
+  const double U = rng.uniform(0.001, 0.05);
+  const core::Params params = core::Params::practical(rho, 1.0, U, f);
+  ASSERT_TRUE(params.feasible());
+
+  net::Graph graph = net::Graph::line(2);
+  switch (rng.below(4)) {
+    case 0:
+      graph = net::Graph::line(2 + static_cast<int>(rng.below(3)));
+      break;
+    case 1:
+      graph = net::Graph::ring(3 + static_cast<int>(rng.below(3)));
+      break;
+    case 2:
+      graph = net::Graph::star(3 + static_cast<int>(rng.below(3)));
+      break;
+    case 3:
+      graph = net::Graph::gnp_connected(4, 0.6, GetParam());
+      break;
+  }
+
+  net::AugmentedTopology topo(net::Graph(graph), params.k);
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = GetParam();
+
+  switch (rng.below(3)) {
+    case 0:
+      config.delay_model =
+          std::make_unique<net::UniformDelay>(params.d, params.U);
+      break;
+    case 1:
+      config.delay_model =
+          std::make_unique<net::TwoPointDelay>(params.d, params.U);
+      break;
+    case 2:
+      config.delay_model =
+          std::make_unique<net::ClassedDelay>(params.d, params.U, params.k);
+      break;
+  }
+
+  switch (rng.below(3)) {
+    case 0:
+      config.drift_model = std::make_unique<clocks::ConstantDrift>(
+          params.rho, GetParam(), rng.chance(0.5));
+      break;
+    case 1:
+      config.drift_model = std::make_unique<clocks::RandomWalkDrift>(
+          params.rho, params.T, params.rho / 4.0, GetParam());
+      break;
+    case 2:
+      config.drift_model = std::make_unique<clocks::SinusoidalDrift>(
+          params.rho, 40.0 * params.T, params.T, GetParam());
+      break;
+  }
+
+  const byz::StrategyKind strategies[] = {
+      byz::StrategyKind::kSilent,       byz::StrategyKind::kTwoFaced,
+      byz::StrategyKind::kClockLiar,    byz::StrategyKind::kSkewPump,
+      byz::StrategyKind::kEquivocator,  byz::StrategyKind::kWindowEdge,
+      byz::StrategyKind::kDelayJitter,
+  };
+  const auto kind = strategies[rng.below(7)];
+  const int faults = static_cast<int>(rng.below(params.f + 1));  // 0..f
+  config.fault_plan = byz::FaultPlan::uniform(
+      topo, faults, kind, rng.uniform(0.2, 2.0) * params.E, GetParam());
+
+  core::FtGcsSystem system(net::Graph(graph), std::move(config));
+  metrics::SkewProbe probe(system, params.T / 2.0, 8.0 * params.T);
+  probe.start();
+  system.start();
+  system.run_until(30.0 * params.T);
+
+  EXPECT_LE(probe.steady_max().intra_cluster,
+            params.intra_cluster_skew_bound())
+      << "f=" << f << " faults=" << faults << " strategy "
+      << byz::strategy_name(kind);
+  EXPECT_LE(probe.steady_max().cluster_local, params.kappa);
+  EXPECT_EQ(system.total_violations(), 0u)
+      << "strategy " << byz::strategy_name(kind);
+  for (int id = 0; id < system.topology().num_nodes(); ++id) {
+    if (system.is_correct(id)) {
+      EXPECT_GE(system.node(id).round(), 25);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak, ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace ftgcs

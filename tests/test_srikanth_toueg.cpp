@@ -1,0 +1,89 @@
+// Srikanth–Toueg propose-and-pull baseline (paper App. A, [20]).
+#include "baselines/srikanth_toueg.h"
+
+#include <gtest/gtest.h>
+
+namespace ftgcs::baselines {
+namespace {
+
+SrikanthTouegSystem::Config base_config() {
+  SrikanthTouegSystem::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.rho = 1e-3;
+  config.d = 1.0;
+  config.U = 0.1;
+  config.period = 10.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(SrikanthToueg, RoundsProgressFaultFree) {
+  SrikanthTouegSystem system(base_config());
+  system.start();
+  system.run_until(100.0);
+  // ~10 periods: every correct node fired about that many rounds.
+  EXPECT_GE(system.min_round(), 8);
+}
+
+TEST(SrikanthToueg, SkewBoundedByDelayScale) {
+  SrikanthTouegSystem system(base_config());
+  system.start();
+  double worst = 0.0;
+  for (int step = 1; step <= 100; ++step) {
+    system.run_until(step * 5.0);
+    worst = std::max(worst, system.skew());
+  }
+  // O(d) guarantee (constant ≈ 2: one pull chain plus delay spread).
+  EXPECT_LE(worst, 2.5 * base_config().d + 0.2);
+}
+
+TEST(SrikanthToueg, ToleratesFSilentFaults) {
+  SrikanthTouegSystem::Config config = base_config();
+  config.silent_faults = 1;
+  SrikanthTouegSystem system(std::move(config));
+  system.start();
+  double worst = 0.0;
+  for (int step = 1; step <= 100; ++step) {
+    system.run_until(step * 5.0);
+    worst = std::max(worst, system.skew());
+  }
+  EXPECT_GE(system.min_round(), 8);
+  EXPECT_LE(worst, 2.5 * base_config().d + 0.2);
+}
+
+TEST(SrikanthToueg, PullAdvancesLaggards) {
+  // A node whose hardware clock runs at the slow end still fires each
+  // round within ~d of the fast nodes: the f+1 pull drags it forward.
+  SrikanthTouegSystem::Config config = base_config();
+  config.rho = 0.05;  // exaggerated drift so the pull is load-bearing
+  SrikanthTouegSystem system(std::move(config));
+  system.start();
+  system.run_until(200.0);
+  EXPECT_GE(system.min_round(), 15);
+  // Without the pull the slowest node would lag by rounds·ρ·P ≈ 10 by
+  // now; with it, everyone is within a delay of the pack.
+  EXPECT_LE(system.pulse_spread(), 2.0 * base_config().d);
+}
+
+TEST(SrikanthToueg, LargerCliqueLargerBudget) {
+  SrikanthTouegSystem::Config config = base_config();
+  config.n = 7;
+  config.f = 2;
+  config.silent_faults = 2;
+  config.seed = 9;
+  SrikanthTouegSystem system(std::move(config));
+  system.start();
+  system.run_until(100.0);
+  EXPECT_GE(system.min_round(), 8);
+  EXPECT_LE(system.skew(), 2.5 * base_config().d + 0.2);
+}
+
+TEST(SrikanthToueg, RejectsInvalidResilience) {
+  SrikanthTouegSystem::Config config = base_config();
+  config.n = 3;  // n must exceed 3f
+  EXPECT_DEATH(SrikanthTouegSystem{std::move(config)}, "precondition");
+}
+
+}  // namespace
+}  // namespace ftgcs::baselines
