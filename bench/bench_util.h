@@ -1,16 +1,24 @@
-// Shared helpers for the experiment binaries (E1–E10).
+// Shared helpers for the experiment binaries (E1–E13).
 //
 // Each experiment regenerates one quantitative claim of the paper as a
 // table: the header states the claim, the rows give paper-predicted vs
 // measured values. EXPERIMENTS.md records the outcomes.
+//
+// The ramp helpers are thin shims over the exp/ engine: a ramp experiment
+// is an exp::ResolvedRun (line topology + offset ramp + horizon), and its
+// outcome is read back from the engine's standard metric schema. Ported
+// experiments (E1, E4, E6, E9) skip this layer entirely and run registered
+// scenarios; see exp/builtin_scenarios.cpp.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "byz/fault_plan.h"
 #include "core/ftgcs_system.h"
+#include "exp/run.h"
 #include "metrics/skew_tracker.h"
 #include "metrics/table.h"
 #include "net/graph.h"
@@ -44,25 +52,35 @@ struct RampOutcome {
   std::uint64_t violations = 0;
 };
 
+/// Describes a ramp-absorption experiment on a line as an exp::ResolvedRun
+/// (callers may tweak fields before handing it to exp::run_resolved).
+inline exp::ResolvedRun ramp_run(const core::Params& params, int clusters,
+                                 int gap_rounds, double rounds,
+                                 std::uint64_t seed) {
+  exp::ResolvedRun run;
+  run.params = params;
+  run.graph = net::Graph::line(clusters);
+  run.gap_rounds = gap_rounds;
+  run.horizon_rounds = rounds;
+  run.seed = seed;
+  return run;
+}
+
 /// Runs a ramp-absorption experiment on a line for `rounds` rounds.
 inline RampOutcome run_ramp(const core::Params& params, int clusters,
                             int gap_rounds, double rounds,
                             std::uint64_t seed,
                             byz::FaultPlan fault_plan = {}) {
-  core::FtGcsSystem::Config config =
-      ramp_config(params, clusters, gap_rounds, seed);
-  config.fault_plan = std::move(fault_plan);
-  core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
-  metrics::SkewProbe probe(system, params.T / 4.0, 0.0);
-  probe.start();
-  system.start();
-  system.run_until(rounds * params.T);
+  exp::ResolvedRun run = ramp_run(params, clusters, gap_rounds, rounds, seed);
+  run.fault_plan = std::move(fault_plan);
+  const exp::RunResult result = exp::run_resolved(run);
 
   RampOutcome outcome;
-  outcome.max_local = probe.overall_max().cluster_local;
-  outcome.final_global = probe.samples().back().cluster_global;
-  outcome.initial_global = (clusters - 1) * gap_rounds * params.T;
-  outcome.violations = system.total_violations();
+  outcome.max_local = result.metric("max_local");
+  outcome.final_global = result.metric("final_global");
+  outcome.initial_global = result.metric("S_init");
+  outcome.violations =
+      static_cast<std::uint64_t>(result.metric("violations"));
   return outcome;
 }
 

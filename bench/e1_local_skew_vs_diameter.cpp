@@ -7,60 +7,38 @@
 // paper predicts the worst local skew grows only LOGARITHMICALLY:
 // κ·(⌈log_b(S/κ)⌉+1), b = µ̄/ρ̄. A tree-style algorithm compresses Θ(S)
 // onto one edge instead (E5).
+//
+// The experiment itself lives in the scenario registry
+// (e1_local_skew_vs_diameter + e1_gradient_scale); this binary only runs
+// it and explains the shape.
 #include "bench_util.h"
 
-#include <cmath>
+#include <thread>
+
+#include "exp/exp.h"
 
 int main() {
   using namespace ftgcs;
-  using namespace ftgcs::bench;
 
-  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
-  banner("E1", "local skew vs diameter (Theorem 1.1: O((rho*d+U)*log D))");
+  exp::register_builtin_scenarios();
+  const exp::Registry& registry = exp::Registry::instance();
+  exp::SweepRunner runner(
+      {static_cast<int>(std::thread::hardware_concurrency())});
+
+  // Banner numbers come from the scenario's own parameter spec so they can
+  // never drift out of sync with the table below.
+  const core::Params params =
+      registry.find("e1_local_skew_vs_diameter")->params.build();
+  bench::banner("E1",
+                "local skew vs diameter (Theorem 1.1: O((rho*d+U)*log D))");
   std::printf("params: kappa=%.3f delta=%.3f base mu_bar/rho_bar=%.3f "
-              "T=%.3f E=%.4f\n",
+              "T=%.3f E=%.4f\n\n",
               params.kappa, params.delta_trig, params.gcs_base(), params.T,
               params.E);
 
-  // Per-edge gap ≈ 2.3κ so that s=1 fast triggers engage immediately.
-  const int gap_rounds =
-      static_cast<int>(2.3 * params.kappa / params.T) + 1;
-  std::printf("ramp: %d rounds/edge (= %.2f kappa per edge)\n\n", gap_rounds,
-              gap_rounds * params.T / params.kappa);
-
-  metrics::Table table({"D", "S(init)", "measured max local", "f=1 attacked",
-                        "predicted bound", "local/kappa", "log2(D)"});
-  for (int diameter : {2, 4, 8, 16, 32}) {
-    const int clusters = diameter + 1;
-    const double horizon_rounds = 150.0 + 40.0 * diameter;
-
-    const RampOutcome clean =
-        run_ramp(params, clusters, gap_rounds, horizon_rounds, 1);
-
-    net::AugmentedTopology topo(net::Graph::line(clusters), params.k);
-    byz::FaultPlan plan = byz::FaultPlan::uniform(
-        topo, params.f, byz::StrategyKind::kTwoFaced, params.E, 77);
-    const RampOutcome attacked =
-        run_ramp(params, clusters, gap_rounds, horizon_rounds, 1,
-                 std::move(plan));
-
-    const double predicted =
-        params.predicted_local_skew(clean.initial_global);
-    table.add_row({metrics::Table::integer(diameter),
-                   metrics::Table::num(clean.initial_global, 4),
-                   metrics::Table::num(clean.max_local, 4),
-                   metrics::Table::num(attacked.max_local, 4),
-                   metrics::Table::num(predicted, 4),
-                   metrics::Table::num(clean.max_local / params.kappa, 3),
-                   metrics::Table::num(std::log2(diameter), 3)});
-    if (clean.violations != 0 || attacked.violations != 0) {
-      std::printf("WARNING: violations at D=%d (clean %llu, attacked %llu)\n",
-                  diameter,
-                  static_cast<unsigned long long>(clean.violations),
-                  static_cast<unsigned long long>(attacked.violations));
-    }
-  }
-  table.print(std::cout);
+  exp::TableSink sink;
+  sink.write(runner.run(*registry.find("e1_local_skew_vs_diameter")),
+             std::cout);
   std::printf(
       "\nshape check: measured local skew stays under the κ·(log_b(S/κ)+1) "
       "bound at every D and is\nessentially unchanged by the f=1 attack. "
@@ -75,19 +53,8 @@ int main() {
   // initial share — contrast with E5's tree compression where the worst
   // edge absorbs the FULL global skew regardless of its initial share.
   std::printf("\n-- gradient property vs imposed skew (D = 8) --\n");
-  metrics::Table scale_table({"gap/edge (kappa)", "S(init)",
-                              "max local seen", "max local / init local"});
-  for (int gap : {2, 6, 16, 32}) {
-    const RampOutcome outcome = run_ramp(params, 9, gap, 600.0, 2);
-    const double init_local = gap * params.T;
-    scale_table.add_row(
-        {metrics::Table::num(init_local / params.kappa, 3),
-         metrics::Table::num(outcome.initial_global, 4),
-         metrics::Table::num(outcome.max_local, 4),
-         metrics::Table::num(outcome.max_local / init_local, 3)});
-  }
-  scale_table.print(std::cout);
-  std::printf("\nshape check: max-local/init-local stays ~1 at every scale "
+  sink.write(runner.run(*registry.find("e1_gradient_scale")), std::cout);
+  std::printf("\nshape check: ratio_local stays ~1 at every scale "
               "(no compression, unlike E5's trees).\n");
   return 0;
 }

@@ -3,81 +3,31 @@
 // at f+1 the trimmed agreement can be steered and guarantees degrade.
 //
 // A line of 3 clusters; attack strength sweeps across strategies; the
-// actual number of faulty members per cluster sweeps 0..f+1.
+// actual number of faulty members per cluster sweeps 0..f+1; worst case
+// over 3 seeds. The sweep is the registered e4_fault_tolerance_boundary
+// scenario; this binary only runs it and explains the shape.
 #include "bench_util.h"
 
-namespace {
+#include <thread>
 
-using namespace ftgcs;
-
-struct Outcome {
-  double max_intra = 0.0;
-  double max_local = 0.0;
-  std::uint64_t violations = 0;
-};
-
-Outcome run(const core::Params& params, byz::StrategyKind kind, double param,
-            int faults_per_cluster, std::uint64_t seed) {
-  net::AugmentedTopology topo(net::Graph::line(3), params.k);
-  core::FtGcsSystem::Config config;
-  config.params = params;
-  config.seed = seed;
-  config.fault_plan =
-      byz::FaultPlan::uniform(topo, faults_per_cluster, kind, param, seed);
-  core::FtGcsSystem system(net::Graph::line(3), std::move(config));
-  metrics::SkewProbe probe(system, params.T / 4.0, 5.0 * params.T);
-  probe.start();
-  system.start();
-  system.run_until(60.0 * params.T);
-  return {probe.overall_max().intra_cluster,
-          probe.overall_max().cluster_local, system.total_violations()};
-}
-
-}  // namespace
+#include "exp/exp.h"
 
 int main() {
   using namespace ftgcs;
-  using namespace ftgcs::bench;
 
-  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
-  banner("E4", "fault-tolerance boundary (f tolerated, f+1 not; k = 3f+1)");
+  exp::register_builtin_scenarios();
+  const exp::ScenarioSpec* spec =
+      exp::Registry::instance().find("e4_fault_tolerance_boundary");
+
+  const core::Params params = spec->params.build();
+  bench::banner("E4",
+                "fault-tolerance boundary (f tolerated, f+1 not; k = 3f+1)");
   std::printf("k=%d f=%d bound=%.4f kappa=%.4f\n\n", params.k, params.f,
               params.intra_cluster_skew_bound(), params.kappa);
 
-  metrics::Table table({"strategy", "faults/cluster", "max intra",
-                        "within bound", "max local", "violations"});
-  const struct {
-    byz::StrategyKind kind;
-    double param;
-  } attacks[] = {
-      {byz::StrategyKind::kSilent, 0.0},
-      {byz::StrategyKind::kTwoFaced, 3.0 * params.E},
-      {byz::StrategyKind::kClockLiar, 100.0},
-      {byz::StrategyKind::kSkewPump, 3.0 * params.E},
-      {byz::StrategyKind::kEquivocator, 3.0 * params.E},
-  };
-  for (const auto& attack : attacks) {
-    for (int faults = 0; faults <= params.f + 1; ++faults) {
-      Outcome worst;
-      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        const Outcome outcome =
-            run(params, attack.kind, attack.param, faults, seed);
-        worst.max_intra = std::max(worst.max_intra, outcome.max_intra);
-        worst.max_local = std::max(worst.max_local, outcome.max_local);
-        worst.violations += outcome.violations;
-      }
-      table.add_row(
-          {byz::strategy_name(attack.kind),
-           metrics::Table::integer(faults),
-           metrics::Table::num(worst.max_intra, 4),
-           worst.max_intra <= params.intra_cluster_skew_bound() ? "yes"
-                                                                : "NO",
-           metrics::Table::num(worst.max_local, 4),
-           metrics::Table::integer(
-               static_cast<long long>(worst.violations))});
-    }
-  }
-  table.print(std::cout);
+  exp::SweepRunner runner(
+      {static_cast<int>(std::thread::hardware_concurrency())});
+  exp::TableSink().write(runner.run(*spec), std::cout);
   std::printf("\nshape check: rows with <= %d fault(s) stay within bounds "
               "with 0 violations; f+1-fault\nrows of the active attacks "
               "(two-faced / equivocator) break the bound or rack up "

@@ -1,99 +1,42 @@
 // E6 — Theorem C.3 / Lemmas C.1–C.2: the global-skew module keeps the
 // global cluster skew within O(δ·D).
 //
-// Two directions:
-//  (a) contraction — start with global skew far ABOVE the bound (steep
-//      ramp) and verify the system drives it into the c·δ·D band;
-//  (b) containment — start synchronized under worst-case split drift and
-//      verify the band is never left.
-// Also reports the M_v estimate lag against the Lemma C.2 shape.
+// Two directions, each a registered scenario:
+//  (a) e6_global_skew_drain — start with global skew far ABOVE the bound
+//      (steep ramp) and verify the system drives it into the c·δ·D band;
+//  (b) e6_split_drift_containment — start synchronized under worst-case
+//      split drift and verify the band is never left; also reports the M_v
+//      estimate lag against the Lemma C.2 shape.
 #include "bench_util.h"
 
-#include "clocks/drift_model.h"
+#include <thread>
 
-namespace {
-
-using namespace ftgcs;
-
-struct Containment {
-  double max_global = 0.0;
-  double max_m_lag = 0.0;
-};
-
-Containment run_containment(const core::Params& params, int clusters,
-                            double rounds, std::uint64_t seed) {
-  core::FtGcsSystem::Config config;
-  config.params = params;
-  config.seed = seed;
-  std::vector<int> group;
-  for (int c = 0; c < clusters; ++c) {
-    for (int i = 0; i < params.k; ++i) group.push_back(c);
-  }
-  config.drift_model = std::make_unique<clocks::SpatialSplitDrift>(
-      params.rho, group, clusters / 2, 50.0 * params.T);
-  core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
-  system.start();
-  Containment out;
-  for (int step = 1; step <= static_cast<int>(rounds); ++step) {
-    system.run_until(step * params.T);
-    const auto snap = system.snapshot();
-    const auto skews = metrics::measure_skews(snap, system.topology());
-    out.max_global = std::max(out.max_global, skews.cluster_global);
-    double lmax = 0.0;
-    for (const auto& node : snap.nodes) {
-      if (node.correct) lmax = std::max(lmax, node.logical);
-    }
-    for (int id = 0; id < system.topology().num_nodes(); ++id) {
-      out.max_m_lag = std::max(
-          out.max_m_lag,
-          lmax - system.node(id).max_estimate(system.simulator().now()));
-    }
-  }
-  return out;
-}
-
-}  // namespace
+#include "exp/exp.h"
 
 int main() {
   using namespace ftgcs;
-  using namespace ftgcs::bench;
 
-  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
-  banner("E6", "global skew O(delta*D) (Theorem C.3) and M_v lag "
-               "(Lemma C.2)");
+  exp::register_builtin_scenarios();
+  const exp::Registry& registry = exp::Registry::instance();
+  exp::SweepRunner runner(
+      {static_cast<int>(std::thread::hardware_concurrency())});
+
+  const core::Params params =
+      registry.find("e6_global_skew_drain")->params.build();
+  bench::banner("E6", "global skew O(delta*D) (Theorem C.3) and M_v lag "
+                      "(Lemma C.2)");
   std::printf("delta=%.4f c_global=%.1f predicted band: %.4f * D\n\n",
               params.delta_trig, params.c_global,
               params.c_global * params.delta_trig);
 
-  metrics::Table table({"D", "band c*delta*D", "(a) ramp start",
-                        "(a) global after drain", "in band",
-                        "(b) split-drift max global", "(b) max Mv lag"});
-  for (int diameter : {2, 4, 8, 16}) {
-    const int clusters = diameter + 1;
-    // (a) contraction from 3x the band.
-    const double band = params.predicted_global_skew(diameter);
-    const int gap_rounds =
-        static_cast<int>(3.0 * band / (diameter * params.T)) + 1;
-    const double drain_rounds =
-        200.0 + 1.3 * (gap_rounds * params.T * diameter) /
-                    (params.mu * params.T);
-    const RampOutcome ramp =
-        run_ramp(params, clusters, gap_rounds, drain_rounds, 5);
+  exp::TableSink sink;
+  std::printf("-- (a) contraction from 3x the band --\n");
+  sink.write(runner.run(*registry.find("e6_global_skew_drain")), std::cout);
 
-    // (b) containment under split drift (shorter horizon).
-    const Containment contain =
-        run_containment(params, clusters, 400.0, 6);
-
-    table.add_row({metrics::Table::integer(diameter),
-                   metrics::Table::num(band, 4),
-                   metrics::Table::num(ramp.initial_global, 4),
-                   metrics::Table::num(ramp.final_global, 4),
-                   ramp.final_global <= band ? "yes" : "NO",
-                   metrics::Table::num(contain.max_global, 4),
-                   metrics::Table::num(contain.max_m_lag, 4)});
-  }
-  table.print(std::cout);
-  std::printf("\nshape check: column (a) drains into the linear-in-D band; "
+  std::printf("\n-- (b) containment under split drift --\n");
+  sink.write(runner.run(*registry.find("e6_split_drift_containment")),
+             std::cout);
+  std::printf("\nshape check: table (a) drains into the linear-in-D band; "
               "(b) never leaves it; the\nM_v lag grows at most linearly "
               "in D (Lemma C.2's O(delta*D)).\n");
   return 0;

@@ -3,62 +3,31 @@
 // degree > 2f (so this is asymptotically optimal).
 //
 // Static counts from the augmentation plus measured message load per
-// synchronization round.
+// synchronization round. The sweep is the registered e9_overhead_scaling
+// scenario; this binary only runs it and explains the shape.
 #include "bench_util.h"
+
+#include <thread>
+
+#include "exp/exp.h"
 
 int main() {
   using namespace ftgcs;
-  using namespace ftgcs::bench;
 
-  banner("E9", "augmentation overhead: nodes x O(f), edges x O(f^2)");
+  exp::register_builtin_scenarios();
+  const exp::ScenarioSpec* spec =
+      exp::Registry::instance().find("e9_overhead_scaling");
 
-  const net::Graph base = net::Graph::line(5);
-  const std::size_t base_edges = base.num_edges();
-  std::printf("base graph: line of %d clusters, %zu edges\n\n",
-              base.num_vertices(), base_edges);
+  bench::banner("E9", "augmentation overhead: nodes x O(f), edges x O(f^2)");
+  std::printf("base graph: %s, f sweeps 0..4\n\n",
+              spec->topology.describe().c_str());
 
-  metrics::Table table({"f", "k=3f+1", "nodes", "node factor", "edges",
-                        "edge factor", "edge/(f+1)^2", "max degree",
-                        "msgs/round/node"});
-  for (int f = 0; f <= 4; ++f) {
-    const core::Params params = core::Params::practical(1e-4, 1.0, 0.01, f);
-    net::AugmentedTopology topo(net::Graph::line(5), params.k);
-
-    std::size_t max_degree = 0;
-    for (const auto& neighbors : topo.adjacency()) {
-      max_degree = std::max(max_degree, neighbors.size());
-    }
-
-    // Measured message volume over 10 rounds.
-    core::FtGcsSystem::Config config;
-    config.params = params;
-    config.seed = 9;
-    core::FtGcsSystem system(net::Graph::line(5), std::move(config));
-    system.start();
-    system.run_until(10.0 * params.T);
-    const double msgs_per_round_per_node =
-        static_cast<double>(system.network().messages_sent()) /
-        (10.0 * topo.num_nodes());
-
-    table.add_row(
-        {metrics::Table::integer(f), metrics::Table::integer(params.k),
-         metrics::Table::integer(topo.num_nodes()),
-         metrics::Table::num(static_cast<double>(topo.num_nodes()) /
-                                 base.num_vertices(),
-                             3),
-         metrics::Table::integer(static_cast<long long>(topo.num_edges())),
-         metrics::Table::num(static_cast<double>(topo.num_edges()) /
-                                 static_cast<double>(base_edges),
-                             4),
-         metrics::Table::num(static_cast<double>(topo.num_edges()) /
-                                 (base_edges * (f + 1.0) * (f + 1.0)),
-                             3),
-         metrics::Table::integer(static_cast<long long>(max_degree)),
-         metrics::Table::num(msgs_per_round_per_node, 3)});
-  }
-  table.print(std::cout);
+  exp::SweepRunner runner(
+      {static_cast<int>(std::thread::hardware_concurrency())});
+  exp::TableSink().write(runner.run(*spec), std::cout);
   std::printf("\nshape check: node factor = 3f+1 (linear); edge factor "
-              "grows quadratically\n(edge/(f+1)^2 roughly constant); degree "
-              "> 2f as required for f-tolerance.\n");
+              "grows quadratically\n(edge_factor_norm = edge_factor/(f+1)^2 "
+              "roughly constant); degree > 2f as required\nfor "
+              "f-tolerance.\n");
   return 0;
 }

@@ -1,0 +1,221 @@
+// ftgcs_bench — unified experiment CLI over the exp/ engine.
+//
+//   ftgcs_bench list                      show registered scenarios
+//   ftgcs_bench run <scenario> [opts]     run a scenario's registered grid
+//   ftgcs_bench sweep <scenario> [opts]   run with grid/seed overrides
+//
+// Options (run/sweep):
+//   --threads N         worker threads (default: hardware concurrency)
+//   --sink KIND         table | csv | jsonl        (default: table)
+//   --seeds a,b,c       override the seed list
+//   --axis name=v1,v2   override or append a sweep axis (repeatable;
+//                       the strategy axis also accepts strategy names)
+//   --worst             aggregate rows as worst-over-seeds
+//   --per-seed          one row per (point, seed)
+//   --quiet             table only, no banner
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "byz/strategies.h"
+#include "exp/exp.h"
+#include "metrics/table.h"
+
+namespace {
+
+using namespace ftgcs;
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: ftgcs_bench <list | run <scenario> | sweep "
+               "<scenario>> [--threads N] [--sink table|csv|jsonl] "
+               "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
+               "[--per-seed] [--quiet]\n");
+  std::exit(code);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+/// Parses one `--axis name=v1,v2,...` token list into a SweepAxis. Strategy
+/// axes accept strategy names as well as numeric enum values.
+exp::SweepAxis parse_axis(const std::string& text) {
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= text.size()) {
+    throw std::invalid_argument("--axis expects name=v1,v2,... got '" +
+                                text + "'");
+  }
+  exp::SweepAxis axis;
+  axis.name = text.substr(0, eq);
+  for (const std::string& token : split(text.substr(eq + 1), ',')) {
+    if (token.empty()) continue;
+    if (axis.name == "strategy") {
+      bool matched = false;
+      for (int s = 0; s <= static_cast<int>(byz::StrategyKind::kDelayJitter);
+           ++s) {
+        const auto kind = static_cast<byz::StrategyKind>(s);
+        if (token == byz::strategy_name(kind)) {
+          axis.values.push_back(
+              exp::AxisValue::named(static_cast<double>(s), token));
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    axis.values.push_back(exp::AxisValue::of(std::stod(token)));
+  }
+  if (axis.values.empty()) {
+    throw std::invalid_argument("--axis '" + axis.name + "' has no values");
+  }
+  return axis;
+}
+
+int cmd_list() {
+  metrics::Table table({"scenario", "protocol", "topology", "points",
+                        "seeds", "claim"});
+  const exp::Registry& registry = exp::Registry::instance();
+  for (const std::string& name : registry.names()) {
+    const exp::ScenarioSpec* spec = registry.find(name);
+    table.add_row({spec->name, exp::protocol_name(spec->protocol),
+                   spec->topology.describe(),
+                   metrics::Table::integer(
+                       static_cast<long long>(spec->num_points())),
+                   metrics::Table::integer(
+                       static_cast<long long>(spec->seeds.size())),
+                   spec->title});
+  }
+  table.print(std::cout);
+  std::printf("\n%zu scenarios. `ftgcs_bench run <scenario>` executes one; "
+              "`sweep` accepts --axis/--seeds overrides.\n",
+              registry.size());
+  return 0;
+}
+
+/// `run` executes the registered grid verbatim; `sweep` (allow_overrides)
+/// additionally accepts --axis/--seeds/--worst/--per-seed.
+int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
+  if (args.empty()) usage(2);
+  const std::string name = args[0];
+
+  exp::ScenarioSpec spec;
+  if (const exp::ScenarioSpec* found = exp::Registry::instance().find(name)) {
+    spec = *found;
+  } else {
+    std::fprintf(stderr,
+                 "ftgcs_bench: unknown scenario '%s' (see `ftgcs_bench "
+                 "list`)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  std::string sink_name = "table";
+  bool quiet = false;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage(2);
+      return args[++i];
+    };
+    if (!allow_overrides &&
+        (arg == "--seeds" || arg == "--axis" || arg == "--worst" ||
+         arg == "--per-seed")) {
+      std::fprintf(stderr,
+                   "ftgcs_bench: '%s' overrides the registered grid — use "
+                   "`ftgcs_bench sweep %s %s ...`\n",
+                   arg.c_str(), name.c_str(), arg.c_str());
+      return 2;
+    }
+    if (arg == "--threads") {
+      threads = std::stoi(next());
+    } else if (arg == "--sink") {
+      sink_name = next();
+    } else if (arg == "--seeds") {
+      spec.seeds.clear();
+      for (const std::string& token : split(next(), ',')) {
+        if (!token.empty()) spec.seeds.push_back(std::stoull(token));
+      }
+      if (spec.seeds.empty()) usage(2);
+    } else if (arg == "--axis") {
+      exp::SweepAxis axis = parse_axis(next());
+      bool replaced = false;
+      for (auto& existing : spec.axes) {
+        if (existing.name == axis.name) {
+          existing = axis;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) spec.axes.push_back(std::move(axis));
+    } else if (arg == "--worst") {
+      spec.aggregation = exp::SeedAggregation::kWorstOverSeeds;
+    } else if (arg == "--per-seed") {
+      spec.aggregation = exp::SeedAggregation::kPerSeed;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "ftgcs_bench: unknown option '%s'\n", arg.c_str());
+      usage(2);
+    }
+  }
+
+  if (!quiet) {
+    std::printf("\n==========================================================\n");
+    std::printf("%s — %s\n", spec.name.c_str(), spec.title.c_str());
+    std::printf("==========================================================\n");
+    std::printf("%s\n\n", spec.description.c_str());
+  }
+
+  const std::unique_ptr<exp::ResultSink> sink = exp::make_sink(sink_name);
+  exp::SweepRunner runner({threads});
+  const exp::SweepResult result = runner.run(spec);
+  sink->write(result, std::cout);
+  if (!quiet) {
+    std::printf("\n%zu rows (%zu tasks, %d threads)\n", result.rows.size(),
+                spec.num_tasks(), threads);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::register_builtin_scenarios();
+  if (argc < 2) usage(2);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "run") return cmd_run(args, /*allow_overrides=*/false);
+    if (command == "sweep") return cmd_run(args, /*allow_overrides=*/true);
+    if (command == "--help" || command == "-h" || command == "help") {
+      usage(0);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ftgcs_bench: %s\n", error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "ftgcs_bench: unknown command '%s'\n",
+               command.c_str());
+  usage(2);
+}

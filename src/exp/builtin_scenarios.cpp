@@ -1,0 +1,206 @@
+// Built-in scenario definitions: the declarative ports of the hand-rolled
+// experiment binaries. Each definition is pure data — the former bespoke
+// mains (bench/e1*, e4*, e6*, e9*) now shrink to a registry lookup plus a
+// sink. EXPERIMENTS.md maps experiment ids to these names.
+#include "exp/registry.h"
+
+#include <initializer_list>
+
+#include "byz/strategies.h"
+
+namespace ftgcs::exp {
+
+namespace {
+
+std::vector<AxisValue> values_of(std::initializer_list<double> vs) {
+  std::vector<AxisValue> result;
+  for (double v : vs) result.push_back(AxisValue::of(v));
+  return result;
+}
+
+AxisValue strategy_value(byz::StrategyKind kind) {
+  return AxisValue::named(static_cast<double>(static_cast<int>(kind)),
+                          byz::strategy_name(kind));
+}
+
+// E1 (first table) — Theorem 1.1 / 4.10: local skew O((ρd+U)·log D) on a
+// line ramp, clean and under a full two-faced fault budget.
+ScenarioSpec e1_local_skew_vs_diameter() {
+  ScenarioSpec spec;
+  spec.name = "e1_local_skew_vs_diameter";
+  spec.title = "local skew vs diameter (Theorem 1.1: O((rho*d+U)*log D))";
+  spec.description =
+      "Line ramp with per-edge gap ~2.3 kappa; initial global skew grows "
+      "linearly in D while the measured local skew stays under the "
+      "kappa*(log_b(S/kappa)+1) envelope, with and without f=1 two-faced "
+      "faults per cluster.";
+  spec.ramp.gap_kappa = 2.3;
+  spec.horizon.base_rounds = 150.0;
+  spec.horizon.per_diameter_rounds = 40.0;
+  spec.faults.mode = FaultMode::kUniform;
+  spec.faults.count = -1;  // full budget f
+  spec.faults.strategy = byz::StrategyKind::kTwoFaced;
+  spec.faults.param_times_E = 1.0;
+  spec.faults.seed = 77;
+  spec.axes = {
+      {"diameter", values_of({2, 4, 8, 16, 32})},
+      {"attacked",
+       {AxisValue::named(0, "no"), AxisValue::named(1, "f=1")}},
+  };
+  spec.columns = {"S_init",         "max_local",        "predicted_local",
+                  "in_local_bound", "local_over_kappa", "log2_diameter",
+                  "violations"};
+  return spec;
+}
+
+// E1 (second table) — the gradient property vs the scale of the imposed
+// skew at fixed D = 8: max-local/init-local stays ~1 (no compression).
+ScenarioSpec e1_gradient_scale() {
+  ScenarioSpec spec;
+  spec.name = "e1_gradient_scale";
+  spec.title = "gradient property vs imposed skew (D = 8)";
+  spec.description =
+      "Line of 9 clusters with growing per-edge ramps; the worst edge never "
+      "carries much more than its initial share (contrast E5's tree "
+      "compression).";
+  spec.topology.a = 9;
+  spec.horizon.base_rounds = 600.0;
+  spec.seeds = {2};
+  spec.axes = {{"gap_rounds", values_of({2, 6, 16, 32})}};
+  spec.columns = {"init_local", "S_init", "max_local", "ratio_local"};
+  return spec;
+}
+
+// E4 — the resilience boundary: ≤ f faults per cluster of k = 3f+1 keeps
+// every bound; f+1 lets active attacks break trimmed agreement.
+ScenarioSpec e4_fault_tolerance_boundary() {
+  ScenarioSpec spec;
+  spec.name = "e4_fault_tolerance_boundary";
+  spec.title = "fault-tolerance boundary (f tolerated, f+1 not; k = 3f+1)";
+  spec.description =
+      "Line of 3 clusters; strategy x faults-per-cluster sweep, worst case "
+      "over 3 seeds. Rows with <= f faults stay within the intra-cluster "
+      "bound with 0 violations; f+1 rows of the active attacks break it.";
+  spec.topology.a = 3;
+  spec.horizon.base_rounds = 60.0;
+  spec.steady_after_rounds = 5.0;
+  spec.faults.mode = FaultMode::kUniform;
+  spec.faults.default_param_for_strategy = true;
+  spec.seeds = {1, 2, 3};
+  spec.aggregation = SeedAggregation::kWorstOverSeeds;
+  spec.axes = {
+      {"strategy",
+       {strategy_value(byz::StrategyKind::kSilent),
+        strategy_value(byz::StrategyKind::kTwoFaced),
+        strategy_value(byz::StrategyKind::kClockLiar),
+        strategy_value(byz::StrategyKind::kSkewPump),
+        strategy_value(byz::StrategyKind::kEquivocator)}},
+      {"faults_per_cluster", values_of({0, 1, 2})},
+  };
+  spec.columns = {"max_intra", "intra_bound", "in_intra_bound", "max_local",
+                  "violations"};
+  return spec;
+}
+
+// E6 (a) — Theorem C.3 contraction: start 3x above the global-skew band
+// and verify the drain into c·δ·D.
+ScenarioSpec e6_global_skew_drain() {
+  ScenarioSpec spec;
+  spec.name = "e6_global_skew_drain";
+  spec.title = "global skew contraction into the O(delta*D) band "
+               "(Theorem C.3)";
+  spec.description =
+      "Line ramp starting 3x above the predicted band c*delta*D; the "
+      "global-skew module drains the excess at catch-up rate mu.";
+  spec.ramp.gap_band_factor = 3.0;
+  spec.horizon.base_rounds = 200.0;
+  spec.horizon.drain_factor = 1.3;
+  spec.seeds = {5};
+  spec.axes = {{"diameter", values_of({2, 4, 8, 16})}};
+  spec.columns = {"band", "S_init", "final_global", "in_global_band"};
+  return spec;
+}
+
+// E6 (b) — containment under worst-case split drift, plus the M_v estimate
+// lag of Lemma C.2.
+ScenarioSpec e6_split_drift_containment() {
+  ScenarioSpec spec;
+  spec.name = "e6_split_drift_containment";
+  spec.title = "global-skew containment under split drift + M_v lag "
+               "(Lemmas C.1-C.2)";
+  spec.description =
+      "Synchronized start, half the line at rate 1+rho and half at 1 "
+      "(flipping every 50 rounds); the band is never left and the M_v lag "
+      "stays O(delta*D).";
+  spec.drift.kind = DriftKind::kSpatialSplit;
+  spec.drift.flip_rounds = 50.0;
+  spec.horizon.base_rounds = 400.0;
+  spec.probe_interval_rounds = 1.0;
+  spec.measure_m_lag = true;
+  spec.seeds = {6};
+  spec.axes = {{"diameter", values_of({2, 4, 8, 16})}};
+  spec.columns = {"band", "max_global", "in_global_band_max", "max_m_lag"};
+  return spec;
+}
+
+// E9 — Theorem 1.1's cost side: nodes x O(f), edges x O(f²), degree > 2f,
+// plus measured message load.
+ScenarioSpec e9_overhead_scaling() {
+  ScenarioSpec spec;
+  spec.name = "e9_overhead_scaling";
+  spec.title = "augmentation overhead: nodes x O(f), edges x O(f^2)";
+  spec.description =
+      "Line of 5 clusters for growing fault budgets; static counts from the "
+      "augmentation plus measured messages per round per node.";
+  spec.topology.a = 5;
+  spec.params.rho = 1e-4;
+  spec.horizon.base_rounds = 10.0;
+  spec.seeds = {9};
+  spec.axes = {{"f", values_of({0, 1, 2, 3, 4})}};
+  spec.columns = {"k",           "nodes",      "node_factor",
+                  "edges",       "edge_factor", "edge_factor_norm",
+                  "max_degree",  "msgs_round_node"};
+  return spec;
+}
+
+// Protocol-selection demo: the plain (non-FT) GCS baseline under a single
+// pump fault on a ring — the failure mode FT-GCS exists to prevent (E8).
+ScenarioSpec e8_gcs_pump_baseline() {
+  ScenarioSpec spec;
+  spec.name = "e8_gcs_pump_baseline";
+  spec.title = "plain GCS vs one Byzantine pump node (S1 failure mode)";
+  spec.description =
+      "Non-fault-tolerant GCS on a ring of 9; a single pump node destroys "
+      "the local-skew guarantee (compare e1/e4 under full fault budgets).";
+  spec.protocol = ProtocolKind::kGcsBaseline;
+  spec.topology.kind = TopologyKind::kRing;
+  spec.topology.a = 9;
+  spec.params.U = 0.1;
+  spec.params.mu = 0.05;
+  spec.faults.mode = FaultMode::kUniform;
+  spec.faults.count = 1;
+  spec.faults.strategy = byz::StrategyKind::kSkewPump;
+  spec.faults.param_abs = 0.05;
+  spec.horizon.base_rounds = 300.0;
+  spec.probe_interval_rounds = 5.0;
+  spec.seeds = {8};
+  spec.axes = {{"attacked",
+                {AxisValue::named(0, "no"), AxisValue::named(1, "pump")}}};
+  spec.columns = {"max_local", "max_global", "final_local", "final_global"};
+  return spec;
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  Registry& registry = Registry::instance();
+  registry.add(e1_local_skew_vs_diameter());
+  registry.add(e1_gradient_scale());
+  registry.add(e4_fault_tolerance_boundary());
+  registry.add(e6_global_skew_drain());
+  registry.add(e6_split_drift_containment());
+  registry.add(e9_overhead_scaling());
+  registry.add(e8_gcs_pump_baseline());
+}
+
+}  // namespace ftgcs::exp

@@ -1,0 +1,20 @@
+// Umbrella header for the experiment engine.
+//
+// The exp layer turns the hand-rolled experiment binaries into data: a
+// ScenarioSpec declares topology, drift, faults, protocol, parameters,
+// horizon and a sweep grid; the Registry names specs; SweepRunner fans the
+// grid x seed set out over a thread pool (deterministic at any thread
+// count); sinks render the collected rows as a table, CSV or JSON lines.
+//
+//   exp::register_builtin_scenarios();
+//   const exp::ScenarioSpec* spec =
+//       exp::Registry::instance().find("e1_local_skew_vs_diameter");
+//   exp::SweepRunner runner({.threads = 8});
+//   exp::TableSink().write(runner.run(*spec), std::cout);
+#pragma once
+
+#include "exp/registry.h"  // named scenario registry + built-ins
+#include "exp/run.h"       // single-run resolution & execution
+#include "exp/scenario.h"  // declarative ScenarioSpec value types
+#include "exp/sinks.h"     // table / CSV / JSON-lines renderings
+#include "exp/sweep.h"     // parallel grid runner

@@ -1,0 +1,40 @@
+#include "exp/registry.h"
+
+#include <algorithm>
+
+#include "support/assert.h"
+
+namespace ftgcs::exp {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(ScenarioSpec spec) {
+  FTGCS_EXPECTS(!spec.name.empty());
+  for (auto& existing : scenarios_) {
+    if (existing.name == spec.name) {
+      existing = std::move(spec);
+      return;
+    }
+  }
+  scenarios_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* Registry::find(const std::string& name) const {
+  for (const auto& spec : scenarios_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> result;
+  result.reserve(scenarios_.size());
+  for (const auto& spec : scenarios_) result.push_back(spec.name);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace ftgcs::exp

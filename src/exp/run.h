@@ -1,0 +1,66 @@
+// Scenario execution: resolve a concrete ScenarioSpec + seed into a
+// ResolvedRun (built Params/Graph/FaultPlan), simulate it on a private
+// Simulator, and measure a fixed schema of metrics.
+//
+// Everything here is deliberately free of shared state: one call = one
+// simulator = one result, so a sweep runner can execute resolved runs from
+// any thread and the metrics depend only on the spec and the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "byz/fault_plan.h"
+#include "core/params.h"
+#include "exp/scenario.h"
+#include "net/graph.h"
+
+namespace ftgcs::exp {
+
+/// A fully concrete run: specs resolved against the derived Params. Still a
+/// value type (the drift model is built inside run_resolved).
+struct ResolvedRun {
+  core::Params params;
+  net::Graph graph{1};
+  ProtocolKind protocol = ProtocolKind::kFtGcs;
+  DriftSpec drift;
+  byz::FaultPlan fault_plan;
+  /// kGcsBaseline fast-mode speedup (from ParamsSpec::mu; 0 → 0.05). The
+  /// derived params.mu is the FT-GCS value and differs by ~50x.
+  double baseline_mu = 0.0;
+  int gap_rounds = 0;
+  double horizon_rounds = 0.0;
+  double probe_interval_rounds = 0.25;
+  double steady_after_rounds = 0.0;
+  bool measure_m_lag = false;
+  bool replicas_know_offsets = true;
+  std::uint64_t seed = 1;
+};
+
+/// One completed run: the axis assignments that produced it plus an ordered
+/// metric list (fixed schema; see run.cpp for the catalogue).
+struct RunResult {
+  std::string scenario;
+  /// (axis name, display value) pairs, in grid order.
+  std::vector<std::pair<std::string, std::string>> point;
+  std::uint64_t seed = 0;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  bool has_metric(const std::string& name) const;
+  double metric(const std::string& name) const;  ///< aborts if missing
+  void set_metric(const std::string& name, double value);
+};
+
+/// Resolves spec (with axes already applied) + seed. The initial global skew
+/// needed by HorizonSpec is the analytic ramp height (|C|−1)·gap·T.
+ResolvedRun resolve(const ScenarioSpec& spec, std::uint64_t seed);
+
+/// Simulates one resolved run and measures metrics.
+RunResult run_resolved(const ResolvedRun& run);
+
+/// resolve() + run_resolved().
+RunResult run_point(const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace ftgcs::exp

@@ -1,0 +1,220 @@
+#include "exp/scenario.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "support/assert.h"
+
+namespace ftgcs::exp {
+
+// ---- TopologySpec -----------------------------------------------------------
+
+net::Graph TopologySpec::build() const {
+  switch (kind) {
+    case TopologyKind::kLine:
+      return net::Graph::line(a);
+    case TopologyKind::kRing:
+      return net::Graph::ring(a);
+    case TopologyKind::kStar:
+      return net::Graph::star(a);
+    case TopologyKind::kClique:
+      return net::Graph::clique(a);
+    case TopologyKind::kGrid:
+      return net::Graph::grid(a, b);
+    case TopologyKind::kTorus:
+      return net::Graph::torus(a, b);
+    case TopologyKind::kTree:
+      return net::Graph::balanced_tree(a, b);
+    case TopologyKind::kHypercube:
+      return net::Graph::hypercube(a);
+    case TopologyKind::kGnp:
+      return net::Graph::gnp_connected(a, p, seed);
+  }
+  FTGCS_ASSERT(false);
+  return net::Graph::line(1);
+}
+
+std::string TopologySpec::describe() const {
+  char buf[64];
+  switch (kind) {
+    case TopologyKind::kGrid:
+    case TopologyKind::kTorus:
+      std::snprintf(buf, sizeof buf, "%s(%dx%d)", topology_kind_name(kind), a,
+                    b);
+      break;
+    case TopologyKind::kTree:
+      std::snprintf(buf, sizeof buf, "tree(b=%d,depth=%d)", a, b);
+      break;
+    case TopologyKind::kGnp:
+      std::snprintf(buf, sizeof buf, "gnp(n=%d,p=%g)", a, p);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s(%d)", topology_kind_name(kind), a);
+      break;
+  }
+  return buf;
+}
+
+void TopologySpec::set_diameter(int diameter) {
+  FTGCS_EXPECTS(diameter >= 1);
+  switch (kind) {
+    case TopologyKind::kLine:
+      a = diameter + 1;
+      return;
+    case TopologyKind::kRing:
+      a = 2 * diameter;
+      return;
+    case TopologyKind::kGrid: {
+      // Diameter of grid(w, h) is (w−1)+(h−1); split as evenly as possible.
+      a = diameter / 2 + 1;
+      b = diameter - (a - 1) + 1;
+      return;
+    }
+    default:
+      throw std::invalid_argument(
+          "axis 'diameter' is only supported for line/ring/grid topologies");
+  }
+}
+
+void TopologySpec::set_clusters(int n) {
+  FTGCS_EXPECTS(n >= 1);
+  switch (kind) {
+    case TopologyKind::kLine:
+    case TopologyKind::kRing:
+    case TopologyKind::kStar:
+    case TopologyKind::kClique:
+    case TopologyKind::kGnp:
+      a = n;
+      return;
+    default:
+      throw std::invalid_argument(
+          "axis 'clusters' is only supported for 1-parameter topologies");
+  }
+}
+
+// ---- ParamsSpec -------------------------------------------------------------
+
+core::Params ParamsSpec::build() const {
+  core::Params result;
+  switch (preset) {
+    case Preset::kPractical:
+      result = core::Params::practical(rho, d, U, f);
+      break;
+    case Preset::kPaperStrict:
+      result = core::Params::paper_strict(rho, d, U, f);
+      break;
+    case Preset::kCustom:
+      result = core::Params::custom(rho, d, U, f, mu, phi);
+      break;
+  }
+  if (cluster_size > 0) result = result.with_cluster_size(cluster_size);
+  return result;
+}
+
+// ---- RampSpec / HorizonSpec -------------------------------------------------
+
+int RampSpec::resolve(const core::Params& params, int diameter) const {
+  if (gap_band_factor > 0.0) {
+    const double band = params.predicted_global_skew(diameter);
+    return static_cast<int>(gap_band_factor * band / (diameter * params.T)) +
+           1;
+  }
+  if (gap_kappa > 0.0) {
+    return static_cast<int>(gap_kappa * params.kappa / params.T) + 1;
+  }
+  return gap_rounds;
+}
+
+double HorizonSpec::resolve(const core::Params& params, int diameter,
+                            double initial_global) const {
+  double rounds = base_rounds + per_diameter_rounds * diameter;
+  if (drain_factor > 0.0 && params.mu > 0.0) {
+    rounds += drain_factor * initial_global / (params.mu * params.T);
+  }
+  return rounds;
+}
+
+// ---- ScenarioSpec -----------------------------------------------------------
+
+std::size_t ScenarioSpec::num_points() const {
+  std::size_t points = 1;
+  for (const auto& axis : axes) points *= axis.values.size();
+  return points;
+}
+
+void apply_axis(ScenarioSpec& spec, const std::string& name, double value) {
+  const auto as_int = [&] { return static_cast<int>(std::llround(value)); };
+  if (name == "diameter") {
+    spec.topology.set_diameter(as_int());
+  } else if (name == "clusters") {
+    spec.topology.set_clusters(as_int());
+  } else if (name == "gap_rounds") {
+    spec.ramp = {};
+    spec.ramp.gap_rounds = as_int();
+  } else if (name == "gap_kappa") {
+    spec.ramp = {};
+    spec.ramp.gap_kappa = value;
+  } else if (name == "f") {
+    spec.params.f = as_int();
+  } else if (name == "cluster_size") {
+    spec.params.cluster_size = as_int();
+  } else if (name == "faults_per_cluster") {
+    spec.faults.count = as_int();
+  } else if (name == "strategy") {
+    spec.faults.strategy = static_cast<byz::StrategyKind>(as_int());
+  } else if (name == "attacked") {
+    spec.faults.enabled = value != 0.0;
+  } else if (name == "rho") {
+    spec.params.rho = value;
+  } else if (name == "d") {
+    spec.params.d = value;
+  } else if (name == "U") {
+    spec.params.U = value;
+  } else if (name == "mu") {
+    spec.params.mu = value;
+  } else if (name == "phi") {
+    spec.params.phi = value;
+  } else if (name == "horizon_rounds") {
+    spec.horizon = {};
+    spec.horizon.base_rounds = value;
+  } else if (name == "flip_rounds") {
+    spec.drift.flip_rounds = value;
+  } else if (name == "probability") {
+    spec.faults.probability = value;
+  } else {
+    throw std::invalid_argument("unknown sweep axis '" + name + "'");
+  }
+}
+
+std::string format_axis_value(const AxisValue& v) {
+  if (!v.label.empty()) return v.label;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v.value);
+  return buf;
+}
+
+const char* topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kLine: return "line";
+    case TopologyKind::kRing: return "ring";
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kClique: return "clique";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kTorus: return "torus";
+    case TopologyKind::kTree: return "tree";
+    case TopologyKind::kHypercube: return "hypercube";
+    case TopologyKind::kGnp: return "gnp";
+  }
+  return "?";
+}
+
+const char* protocol_name(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kFtGcs: return "ftgcs";
+    case ProtocolKind::kGcsBaseline: return "gcs";
+  }
+  return "?";
+}
+
+}  // namespace ftgcs::exp

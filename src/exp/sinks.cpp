@@ -1,0 +1,119 @@
+#include "exp/sinks.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "metrics/table.h"
+
+namespace ftgcs::exp {
+
+namespace {
+
+bool integral(double v) {
+  return std::floor(v) == v && std::fabs(v) < 1e15;
+}
+
+std::string format_metric(const std::string& name, double value) {
+  if (name.rfind("in_", 0) == 0) return value >= 0.5 ? "yes" : "NO";
+  if (integral(value)) {
+    return metrics::Table::integer(static_cast<long long>(value));
+  }
+  return metrics::Table::num(value, 4);
+}
+
+std::string raw(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+bool per_seed_rows(const SweepResult& result) {
+  return !result.axis_names.empty() && result.axis_names.back() == "seed";
+}
+
+/// Axis cells for one row: the recorded point labels (+ seed if present).
+std::vector<std::string> axis_cells(const SweepResult& result,
+                                    const RunResult& row) {
+  std::vector<std::string> cells;
+  for (const auto& [axis, label] : row.point) cells.push_back(label);
+  if (per_seed_rows(result)) {
+    cells.push_back(metrics::Table::integer(
+        static_cast<long long>(row.seed)));
+  }
+  return cells;
+}
+
+}  // namespace
+
+void TableSink::write(const SweepResult& result, std::ostream& os) const {
+  std::vector<std::string> headers = result.axis_names;
+  for (const auto& column : result.columns) headers.push_back(column);
+  metrics::Table table(std::move(headers));
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells = axis_cells(result, row);
+    for (const auto& column : result.columns) {
+      cells.push_back(row.has_metric(column)
+                          ? format_metric(column, row.metric(column))
+                          : "-");
+    }
+    table.add_row(std::move(cells));
+  }
+  table.print(os);
+}
+
+void CsvSink::write(const SweepResult& result, std::ostream& os) const {
+  if (result.rows.empty()) return;
+  for (std::size_t i = 0; i < result.axis_names.size(); ++i) {
+    if (i > 0) os << ',';
+    os << result.axis_names[i];
+  }
+  for (const auto& [name, value] : result.rows.front().metrics) {
+    os << ',' << name;
+  }
+  os << '\n';
+  for (const auto& row : result.rows) {
+    const auto cells = axis_cells(result, row);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      os << cells[i];
+    }
+    for (const auto& [name, value] : row.metrics) {
+      os << ',' << raw(value);
+    }
+    os << '\n';
+  }
+}
+
+void JsonLinesSink::write(const SweepResult& result, std::ostream& os) const {
+  for (const auto& row : result.rows) {
+    os << "{\"scenario\":\"" << result.scenario << "\",\"point\":{";
+    bool first = true;
+    for (const auto& [axis, label] : row.point) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << axis << "\":\"" << label << '"';
+    }
+    os << '}';
+    if (per_seed_rows(result)) os << ",\"seed\":" << row.seed;
+    os << ",\"metrics\":{";
+    first = true;
+    for (const auto& [name, value] : row.metrics) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << name << "\":" << raw(value);
+    }
+    os << "}}\n";
+  }
+}
+
+std::unique_ptr<ResultSink> make_sink(const std::string& name) {
+  if (name == "table") return std::make_unique<TableSink>();
+  if (name == "csv") return std::make_unique<CsvSink>();
+  if (name == "jsonl") return std::make_unique<JsonLinesSink>();
+  throw std::invalid_argument("unknown sink '" + name +
+                              "' (expected table, csv or jsonl)");
+}
+
+}  // namespace ftgcs::exp

@@ -1,0 +1,157 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/assert.h"
+
+namespace ftgcs::exp {
+
+namespace {
+
+struct Task {
+  std::vector<std::size_t> axis_index;  ///< value index per axis
+  std::uint64_t seed = 1;
+};
+
+/// Row-major expansion over axes; seeds innermost, so per-seed rows of one
+/// grid point stay adjacent.
+std::vector<Task> expand_grid(const ScenarioSpec& spec) {
+  for (const auto& axis : spec.axes) {
+    FTGCS_EXPECTS(!axis.values.empty());
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(spec.num_tasks());
+  std::vector<std::size_t> index(spec.axes.size(), 0);
+  for (;;) {
+    for (std::uint64_t seed : spec.seeds) {
+      tasks.push_back({index, seed});
+    }
+    // Odometer increment, last axis fastest.
+    std::size_t axis = spec.axes.size();
+    while (axis > 0) {
+      --axis;
+      if (++index[axis] < spec.axes[axis].values.size()) break;
+      index[axis] = 0;
+      if (axis == 0) return tasks;
+    }
+    if (spec.axes.empty()) return tasks;
+  }
+}
+
+RunResult execute(const ScenarioSpec& base, const Task& task) {
+  ScenarioSpec spec = base;
+  std::vector<std::pair<std::string, std::string>> point;
+  point.reserve(base.axes.size());
+  for (std::size_t a = 0; a < base.axes.size(); ++a) {
+    const SweepAxis& axis = base.axes[a];
+    const AxisValue& value = axis.values[task.axis_index[a]];
+    apply_axis(spec, axis.name, value.value);
+    point.emplace_back(axis.name, format_axis_value(value));
+  }
+  RunResult result = run_point(spec, task.seed);
+  result.scenario = base.name;
+  result.point = std::move(point);
+  return result;
+}
+
+/// Collapses the per-seed rows of one grid point into a single row: count
+/// metrics (violations/messages/events) sum, everything else takes the max.
+RunResult reduce_worst(const std::vector<const RunResult*>& group) {
+  FTGCS_EXPECTS(!group.empty());
+  RunResult out = *group.front();
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const RunResult& next = *group[i];
+    FTGCS_EXPECTS(next.metrics.size() == out.metrics.size());
+    for (std::size_t m = 0; m < out.metrics.size(); ++m) {
+      auto& [name, value] = out.metrics[m];
+      const double other = next.metrics[m].second;
+      if (name == "violations" || name == "messages" || name == "events") {
+        value += other;
+      } else if (name.rfind("in_", 0) == 0) {
+        value = std::min(value, other);  // a bound holds only if it always holds
+      } else {
+        value = std::max(value, other);
+      }
+    }
+  }
+  out.seed = 0;
+  return out;
+}
+
+}  // namespace
+
+SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
+  const std::vector<Task> tasks = expand_grid(spec);
+  FTGCS_EXPECTS(!tasks.empty());
+
+  std::vector<RunResult> results(tasks.size());
+  const int threads = std::max(
+      1, std::min<int>(options_.threads, static_cast<int>(tasks.size())));
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      results[i] = execute(spec, tasks[i]);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= tasks.size() || failed.load()) return;
+          try {
+            results[i] = execute(spec, tasks[i]);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (auto& thread : pool) thread.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  SweepResult sweep;
+  sweep.scenario = spec.name;
+  for (const auto& axis : spec.axes) sweep.axis_names.push_back(axis.name);
+
+  if (spec.aggregation == SeedAggregation::kWorstOverSeeds &&
+      spec.seeds.size() > 1) {
+    // Seeds are innermost, so each grid point's rows are contiguous.
+    const std::size_t stride = spec.seeds.size();
+    for (std::size_t start = 0; start < results.size(); start += stride) {
+      std::vector<const RunResult*> group;
+      for (std::size_t s = 0; s < stride; ++s) {
+        group.push_back(&results[start + s]);
+      }
+      sweep.rows.push_back(reduce_worst(group));
+    }
+  } else {
+    if (spec.seeds.size() > 1) sweep.axis_names.push_back("seed");
+    sweep.rows = std::move(results);
+  }
+
+  if (!spec.columns.empty()) {
+    sweep.columns = spec.columns;
+  } else if (!sweep.rows.empty()) {
+    for (const auto& [name, value] : sweep.rows.front().metrics) {
+      sweep.columns.push_back(name);
+    }
+  }
+  return sweep;
+}
+
+}  // namespace ftgcs::exp

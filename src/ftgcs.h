@@ -16,8 +16,11 @@
 //   system.start();
 //   system.run_until(horizon);
 //
-// See README.md for the architecture overview and EXPERIMENTS.md for the
-// reproduction record.
+// Experiments are declarative: exp::ScenarioSpec describes topology, drift,
+// faults, protocol, parameters and a sweep grid; exp::SweepRunner fans the
+// grid out over a thread pool; the `ftgcs_bench` CLI runs any registered
+// scenario. See README.md for the architecture overview and EXPERIMENTS.md
+// for the experiment-to-scenario map.
 #pragma once
 
 #include "byz/fault_plan.h"      // fault placement + attack strategies
@@ -25,6 +28,7 @@
 #include "clocks/drift_model.h"  // hardware drift adversaries
 #include "core/ftgcs_system.h"   // the system builder (main entry point)
 #include "core/params.h"         // parameter derivation + feasibility
+#include "exp/exp.h"             // scenario registry + parallel sweep engine
 #include "gcs/gcs_system.h"      // plain (non-FT) GCS baseline
 #include "metrics/skew_tracker.h"  // ground-truth skew measurement
 #include "net/channel.h"         // delay models
