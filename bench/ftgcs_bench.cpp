@@ -12,6 +12,9 @@
 //                       the strategy axis also accepts strategy names)
 //   --worst             aggregate rows as worst-over-seeds
 //   --per-seed          one row per (point, seed)
+//   --timing            append wall_ms / events_per_sec columns (wall-clock
+//                       measurements; off by default so output stays
+//                       machine-independent)
 //   --quiet             table only, no banner
 #include <cstdio>
 #include <cstdlib>
@@ -35,7 +38,7 @@ using namespace ftgcs;
                "usage: ftgcs_bench <list | run <scenario> | sweep "
                "<scenario>> [--threads N] [--sink table|csv|jsonl] "
                "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
-               "[--per-seed] [--quiet]\n");
+               "[--per-seed] [--timing] [--quiet]\n");
   std::exit(code);
 }
 
@@ -130,6 +133,7 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
   if (threads < 1) threads = 1;
   std::string sink_name = "table";
   bool quiet = false;
+  bool timing = false;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -173,6 +177,8 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
       spec.aggregation = exp::SeedAggregation::kPerSeed;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--timing") {
+      timing = true;
     } else {
       std::fprintf(stderr, "ftgcs_bench: unknown option '%s'\n", arg.c_str());
       usage(2);
@@ -187,12 +193,18 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
   }
 
   const std::unique_ptr<exp::ResultSink> sink = exp::make_sink(sink_name);
-  exp::SweepRunner runner({threads});
+  exp::SweepRunner runner({threads, timing});
   const exp::SweepResult result = runner.run(spec);
   sink->write(result, std::cout);
   if (!quiet) {
     std::printf("\n%zu rows (%zu tasks, %d threads)\n", result.rows.size(),
                 spec.num_tasks(), threads);
+    if (timing && result.total_wall_ms > 0.0 && result.total_events > 0.0) {
+      std::printf("%.3g simulated events in %.0f ms task time — %.2fM "
+                  "events/sec/thread aggregate\n",
+                  result.total_events, result.total_wall_ms,
+                  result.total_events / result.total_wall_ms / 1000.0);
+    }
   }
   return 0;
 }

@@ -49,6 +49,82 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
 
+// The typed path is what the protocol stack actually runs on (pulses,
+// timers, drift, probes): POD payload, slot pool, no closures, no
+// allocation after warm-up. Counters are events/sec.
+
+void BM_EventEngineTypedScheduleFire(benchmark::State& state) {
+  sim::Rng rng(6);
+  struct Sink final : sim::EventSink {
+    void on_event(sim::EventKind, const sim::EventPayload&,
+                  sim::Time) override {}
+  } sink;
+  sim::EventQueue queue;
+  queue.reserve(1000);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule_typed(rng.next_double(), sim::EventKind::kPulse, 0, {});
+    }
+    while (!queue.empty()) {
+      auto fired = queue.pop();
+      sink.on_event(fired.kind, fired.payload, fired.at);
+    }
+    events += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventEngineTypedScheduleFire);
+
+void BM_EventEngineTypedCancelHeavy(benchmark::State& state) {
+  sim::Rng rng(7);
+  sim::EventQueue queue;
+  queue.reserve(1000);
+  std::uint64_t events = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(1000);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(queue.schedule_typed(rng.next_double(),
+                                         sim::EventKind::kTimer, 0, {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) {
+      queue.cancel(ids[i]);
+    }
+    while (!queue.empty()) {
+      queue.pop();
+    }
+    events += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventEngineTypedCancelHeavy);
+
+void BM_EventEngineReschedule(benchmark::State& state) {
+  // The logical-timer re-aim pattern: a standing population of timers
+  // whose fire times move on every clock-rate change.
+  sim::Rng rng(8);
+  sim::EventQueue queue;
+  queue.reserve(256);
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(queue.schedule_typed(1e9 + rng.next_double(),
+                                       sim::EventKind::kTimer, 0, {}));
+  }
+  for (auto _ : state) {
+    for (auto& id : ids) {
+      queue.reschedule(id, 1e9 + rng.next_double());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_EventEngineReschedule);
+
 void BM_TriggerEvaluation(benchmark::State& state) {
   sim::Rng rng(3);
   std::vector<double> neighbors(state.range(0));

@@ -64,13 +64,13 @@ class Strategy {
   }
 };
 
-/// Hosts one strategy: owns the context, registers as the network handler.
-class ByzantineNode {
+/// Hosts one strategy: owns the context, registers as the network sink.
+class ByzantineNode final : public net::PulseSink {
  public:
   ByzantineNode(AttackContext ctx, std::unique_ptr<Strategy> strategy);
 
   void start();
-  void on_pulse(const net::Pulse& pulse, sim::Time now);
+  void on_pulse(const net::Pulse& pulse, sim::Time now) override;
   void on_reference_round(const RoundInfo& info);
 
   int id() const { return ctx_.self; }

@@ -27,6 +27,8 @@ void ConstantDrift::install(sim::Simulator& simulator,
 void RandomWalkDrift::install(sim::Simulator& simulator,
                               std::vector<RateSink> sinks) {
   FTGCS_EXPECTS(interval_ > 0.0);
+  sim_ = &simulator;
+  self_ = simulator.register_sink(this);
   sinks_ = std::move(sinks);
   rates_.resize(sinks_.size());
   const sim::Time now = simulator.now();
@@ -34,7 +36,13 @@ void RandomWalkDrift::install(sim::Simulator& simulator,
     rates_[i] = rng_.uniform(1.0, 1.0 + rho_);
     sinks_[i](now, rates_[i]);
   }
-  simulator.after(interval_, [this, &simulator] { tick(simulator); });
+  simulator.post_after(interval_, sim::EventKind::kDrift, self_, {});
+}
+
+void RandomWalkDrift::on_event(sim::EventKind kind, const sim::EventPayload&,
+                               sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  tick(*sim_);
 }
 
 void RandomWalkDrift::tick(sim::Simulator& simulator) {
@@ -48,16 +56,24 @@ void RandomWalkDrift::tick(sim::Simulator& simulator) {
     rates_[i] = r;
     sinks_[i](now, r);
   }
-  simulator.after(interval_, [this, &simulator] { tick(simulator); });
+  simulator.post_after(interval_, sim::EventKind::kDrift, self_, {});
 }
 
 void SinusoidalDrift::install(sim::Simulator& simulator,
                               std::vector<RateSink> sinks) {
   FTGCS_EXPECTS(period_ > 0.0 && sample_ > 0.0);
+  sim_ = &simulator;
+  self_ = simulator.register_sink(this);
   sinks_ = std::move(sinks);
   phases_.resize(sinks_.size());
   for (auto& phase : phases_) phase = rng_.next_double();
   tick(simulator);
+}
+
+void SinusoidalDrift::on_event(sim::EventKind kind, const sim::EventPayload&,
+                               sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  tick(*sim_);
 }
 
 void SinusoidalDrift::tick(sim::Simulator& simulator) {
@@ -68,14 +84,23 @@ void SinusoidalDrift::tick(sim::Simulator& simulator) {
     const double rate = 1.0 + rho_ / 2.0 + (rho_ / 2.0) * std::sin(arg);
     sinks_[i](now, rate);
   }
-  simulator.after(sample_, [this, &simulator] { tick(simulator); });
+  simulator.post_after(sample_, sim::EventKind::kDrift, self_, {});
 }
 
 void SpatialSplitDrift::install(sim::Simulator& simulator,
                                 std::vector<RateSink> sinks) {
   FTGCS_EXPECTS(sinks.size() == group_.size());
+  sim_ = &simulator;
+  self_ = simulator.register_sink(this);
   sinks_ = std::move(sinks);
   apply(simulator, /*flipped=*/false);
+}
+
+void SpatialSplitDrift::on_event(sim::EventKind kind,
+                                 const sim::EventPayload& payload,
+                                 sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  apply(*sim_, payload.a != 0);
 }
 
 void SpatialSplitDrift::apply(sim::Simulator& simulator, bool flipped) {
@@ -86,26 +111,35 @@ void SpatialSplitDrift::apply(sim::Simulator& simulator, bool flipped) {
     sinks_[i](now, fast ? 1.0 + rho_ : 1.0);
   }
   if (flip_every_ > 0.0) {
-    simulator.after(flip_every_, [this, &simulator, flipped] {
-      apply(simulator, !flipped);
-    });
+    sim::EventPayload payload;
+    payload.a = flipped ? 0 : 1;  // the *next* application's side
+    simulator.post_after(flip_every_, sim::EventKind::kDrift, self_, payload);
   }
 }
 
 void ScheduledDrift::install(sim::Simulator& simulator,
                              std::vector<RateSink> sinks) {
   FTGCS_EXPECTS(initial_.size() == sinks.size());
+  self_ = simulator.register_sink(this);
   sinks_ = std::move(sinks);
   const sim::Time now = simulator.now();
   for (std::size_t i = 0; i < sinks_.size(); ++i) {
     sinks_[i](now, initial_[i]);
   }
-  for (const Change& change : script_) {
-    FTGCS_EXPECTS(change.node < sinks_.size());
-    simulator.at(change.at, [this, change] {
-      sinks_[change.node](change.at, change.rate);
-    });
+  for (std::size_t c = 0; c < script_.size(); ++c) {
+    FTGCS_EXPECTS(script_[c].node < sinks_.size());
+    sim::EventPayload payload;
+    payload.a = static_cast<std::int32_t>(c);
+    simulator.post_at(script_[c].at, sim::EventKind::kDrift, self_, payload);
   }
+}
+
+void ScheduledDrift::on_event(sim::EventKind kind,
+                              const sim::EventPayload& payload,
+                              sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  const Change& change = script_[static_cast<std::size_t>(payload.a)];
+  sinks_[change.node](change.at, change.rate);
 }
 
 }  // namespace ftgcs::clocks

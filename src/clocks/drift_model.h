@@ -61,7 +61,7 @@ class ConstantDrift final : public DriftModel {
 
 /// Bounded random walk: every `step_interval` (Newtonian) each node's rate
 /// moves by a uniform step in ±step_size, reflected into [1, 1+rho].
-class RandomWalkDrift final : public DriftModel {
+class RandomWalkDrift final : public DriftModel, public sim::EventSink {
  public:
   RandomWalkDrift(double rho, sim::Duration step_interval, double step_size,
                   std::uint64_t seed)
@@ -71,6 +71,8 @@ class RandomWalkDrift final : public DriftModel {
         rng_(seed) {}
 
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
  private:
   void tick(sim::Simulator& simulator);
@@ -79,19 +81,23 @@ class RandomWalkDrift final : public DriftModel {
   sim::Duration interval_;
   double step_;
   sim::Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
   std::vector<double> rates_;
 };
 
 /// Piecewise-constant sampling of 1 + rho/2 + (rho/2)·sin(2π(t/period + φ_i))
 /// with per-node random phase φ_i.
-class SinusoidalDrift final : public DriftModel {
+class SinusoidalDrift final : public DriftModel, public sim::EventSink {
  public:
   SinusoidalDrift(double rho, sim::Duration period, sim::Duration sample_every,
                   std::uint64_t seed)
       : rho_(rho), period_(period), sample_(sample_every), rng_(seed) {}
 
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
  private:
   void tick(sim::Simulator& simulator);
@@ -100,6 +106,8 @@ class SinusoidalDrift final : public DriftModel {
   sim::Duration period_;
   sim::Duration sample_;
   sim::Rng rng_;
+  sim::Simulator* sim_ = nullptr;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
   std::vector<double> phases_;
 };
@@ -109,7 +117,7 @@ class SinusoidalDrift final : public DriftModel {
 /// 1+rho, others at 1. If flip_every > 0, the two sides swap rates
 /// periodically — the worst case for gradient algorithms, which must keep
 /// re-absorbing the drift-induced skew.
-class SpatialSplitDrift final : public DriftModel {
+class SpatialSplitDrift final : public DriftModel, public sim::EventSink {
  public:
   SpatialSplitDrift(double rho, std::vector<int> group_of_node, int boundary,
                     sim::Duration flip_every = 0.0)
@@ -119,6 +127,8 @@ class SpatialSplitDrift final : public DriftModel {
         flip_every_(flip_every) {}
 
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
  private:
   void apply(sim::Simulator& simulator, bool flipped);
@@ -127,11 +137,13 @@ class SpatialSplitDrift final : public DriftModel {
   std::vector<int> group_;
   int boundary_;
   sim::Duration flip_every_;
+  sim::Simulator* sim_ = nullptr;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
 };
 
 /// Explicit script of rate changes, for unit tests.
-class ScheduledDrift final : public DriftModel {
+class ScheduledDrift final : public DriftModel, public sim::EventSink {
  public:
   struct Change {
     sim::Time at;
@@ -143,10 +155,13 @@ class ScheduledDrift final : public DriftModel {
       : initial_(std::move(initial_rates)), script_(std::move(script)) {}
 
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
  private:
   std::vector<double> initial_;
   std::vector<Change> script_;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
 };
 

@@ -7,50 +7,80 @@
 namespace ftgcs::clocks {
 
 LogicalTimerSet::LogicalTimerSet(sim::Simulator& simulator,
-                                 LogicalClock& clock)
-    : sim_(simulator), clock_(clock) {
+                                 LogicalClock& clock, Client* client)
+    : sim_(simulator), clock_(clock), client_(client) {
+  self_ = simulator.register_sink(this);
   clock_.set_rate_observer([this](sim::Time now) { reschedule_all(now); });
 }
 
 LogicalTimerSet::~LogicalTimerSet() {
   clock_.set_rate_observer(nullptr);
-  for (auto& [key, pending] : pending_) {
-    sim_.cancel(pending.event);
+  for (auto& pending : pending_) {
+    if (pending.armed) sim_.cancel(pending.event);
   }
 }
 
-sim::EventId LogicalTimerSet::schedule_one(Key key, const Pending& p) {
-  const sim::Time fire_at = clock_.when_reaches(p.target, sim_.now());
-  return sim_.at(fire_at, [this, key] {
-    auto it = pending_.find(key);
-    FTGCS_ASSERT(it != pending_.end());
-    Callback fn = std::move(it->second.fn);
-    pending_.erase(it);
+sim::EventId LogicalTimerSet::schedule_one(Key key, double target) {
+  const sim::Time fire_at = clock_.when_reaches(target, sim_.now());
+  sim::EventPayload payload;
+  payload.a = static_cast<std::int32_t>(key);
+  return sim_.post_at(fire_at, sim::EventKind::kTimer, self_, payload);
+}
+
+void LogicalTimerSet::on_event(sim::EventKind kind,
+                               const sim::EventPayload& payload,
+                               sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kTimer);
+  const Key key = static_cast<Key>(payload.a);
+  FTGCS_ASSERT(key < pending_.size());
+  Pending& pending = pending_[key];
+  FTGCS_ASSERT(pending.armed);
+  pending.armed = false;  // disarm before firing so the fire may re-arm
+  --armed_count_;
+  if (pending.fn) {
+    Callback fn = std::move(pending.fn);
+    pending.fn = nullptr;
     fn();
-  });
+  } else {
+    FTGCS_ASSERT(client_ != nullptr);
+    client_->on_logical_timer(key);
+  }
+}
+
+void LogicalTimerSet::arm(Key key, double logical_target) {
+  cancel(key);
+  if (key >= pending_.size()) pending_.resize(key + 1);
+  Pending& pending = pending_[key];
+  pending.armed = true;
+  pending.target = logical_target;
+  pending.fn = nullptr;
+  pending.event = schedule_one(key, logical_target);
+  ++armed_count_;
 }
 
 void LogicalTimerSet::arm(Key key, double logical_target, Callback fn) {
   FTGCS_EXPECTS(fn != nullptr);
-  cancel(key);
-  Pending p{logical_target, std::move(fn), sim::EventId{}};
-  auto [it, inserted] = pending_.emplace(key, std::move(p));
-  FTGCS_ASSERT(inserted);
-  it->second.event = schedule_one(key, it->second);
+  arm(key, logical_target);
+  pending_[key].fn = std::move(fn);
 }
 
 void LogicalTimerSet::cancel(Key key) {
-  auto it = pending_.find(key);
-  if (it == pending_.end()) return;
-  sim_.cancel(it->second.event);
-  pending_.erase(it);
+  if (!armed(key)) return;
+  Pending& pending = pending_[key];
+  sim_.cancel(pending.event);
+  pending.armed = false;
+  pending.fn = nullptr;
+  --armed_count_;
 }
 
 void LogicalTimerSet::reschedule_all(sim::Time now) {
   (void)now;
-  for (auto& [key, pending] : pending_) {
-    sim_.cancel(pending.event);
-    pending.event = schedule_one(key, pending);
+  for (Key key = 0; key < pending_.size(); ++key) {
+    Pending& pending = pending_[key];
+    if (!pending.armed) continue;
+    const sim::Time fire_at = clock_.when_reaches(pending.target, sim_.now());
+    const bool moved = sim_.reschedule(pending.event, fire_at);
+    FTGCS_ASSERT(moved);
   }
 }
 

@@ -7,27 +7,44 @@
 // and transparently reschedules them on every rate change (it installs
 // itself as the clock's rate observer).
 //
-// Timers are keyed by an integer so a protocol can name them (round-pulse,
-// phase-2-end, round-end, ...) and replace/cancel by name.
+// Timers are keyed by a small integer so a protocol can name them
+// (round-pulse, phase-2-end, round-end, ...) and replace/cancel by name.
+// Pending timers live in a key-indexed slot vector (keys are dense by
+// design) and fire as typed kTimer events whose payload is the key — the
+// whole arm/fire/reschedule cycle allocates nothing. Protocols implement
+// the Client interface; a legacy per-arm callback overload remains for
+// tests and ad-hoc uses.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "clocks/logical_clock.h"
 #include "sim/simulator.h"
 
 namespace ftgcs::clocks {
 
-class LogicalTimerSet {
+class LogicalTimerSet final : public sim::EventSink {
  public:
   using Callback = std::function<void()>;
   using Key = std::uint32_t;
 
+  /// Typed fire interface: `key` identifies which timer fired.
+  class Client {
+   public:
+    virtual void on_logical_timer(Key key) = 0;
+
+   protected:
+    ~Client() = default;
+  };
+
   /// Binds to a simulator and a clock. The set registers itself as the
-  /// clock's rate observer; the clock must outlive the set.
-  LogicalTimerSet(sim::Simulator& simulator, LogicalClock& clock);
+  /// clock's rate observer; the clock must outlive the set. `client`
+  /// receives typed fires (may be null if only the callback overload of
+  /// arm() is used).
+  LogicalTimerSet(sim::Simulator& simulator, LogicalClock& clock,
+                  Client* client = nullptr);
 
   ~LogicalTimerSet();
 
@@ -35,32 +52,46 @@ class LogicalTimerSet {
   LogicalTimerSet& operator=(const LogicalTimerSet&) = delete;
 
   /// Arms (or replaces) timer `key` to fire when the logical clock reaches
-  /// `logical_target`. The callback runs exactly once, at the Newtonian
-  /// time at which the (possibly rate-changing) clock first reaches the
-  /// target. Requires logical_target >= clock.read(now).
+  /// `logical_target`; the fire is delivered to the client. Runs exactly
+  /// once, at the Newtonian time at which the (possibly rate-changing)
+  /// clock first reaches the target. Requires logical_target >=
+  /// clock.read(now).
+  void arm(Key key, double logical_target);
+
+  /// Legacy overload: fires `fn` instead of notifying the client.
   void arm(Key key, double logical_target, Callback fn);
 
-  /// Cancels timer `key`; no-op if not armed.
+  /// Cancels timer `key`; no-op if not armed. O(1).
   void cancel(Key key);
 
   /// True if timer `key` is armed.
-  bool armed(Key key) const { return pending_.count(key) > 0; }
+  bool armed(Key key) const {
+    return key < pending_.size() && pending_[key].armed;
+  }
 
-  std::size_t armed_count() const { return pending_.size(); }
+  std::size_t armed_count() const { return armed_count_; }
+
+  /// EventSink: kTimer events carry the key in payload.a.
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
  private:
   struct Pending {
-    double target;
-    Callback fn;
+    bool armed = false;
+    double target = 0.0;
     sim::EventId event;
+    Callback fn;  ///< empty → typed dispatch to client_
   };
 
   void reschedule_all(sim::Time now);
-  sim::EventId schedule_one(Key key, const Pending& p);
+  sim::EventId schedule_one(Key key, double target);
 
   sim::Simulator& sim_;
   LogicalClock& clock_;
-  std::map<Key, Pending> pending_;
+  Client* client_;
+  sim::SinkId self_ = sim::kInvalidSink;
+  std::vector<Pending> pending_;  ///< indexed by key (keys are dense)
+  std::size_t armed_count_ = 0;
 };
 
 }  // namespace ftgcs::clocks

@@ -14,8 +14,9 @@ ClusterSyncEngine::ClusterSyncEngine(sim::Simulator& simulator,
       cfg_(cfg),
       clock_(cfg.phi, cfg.mu, initial_hardware_rate, simulator.now(),
              (cfg.start_round - 1) * (cfg.tau1 + cfg.tau2 + cfg.tau3)),
-      timers_(simulator, clock_),
+      timers_(simulator, clock_, this),
       loopback_rng_(loopback_rng) {
+  self_ = simulator.register_sink(this);
   FTGCS_EXPECTS(cfg.start_round >= 1);
   FTGCS_EXPECTS(cfg.tau1 > 0.0 && cfg.tau2 > 0.0 && cfg.tau3 > 0.0);
   FTGCS_EXPECTS(cfg.phi > 0.0 && cfg.phi < 1.0);
@@ -25,6 +26,7 @@ ClusterSyncEngine::ClusterSyncEngine(sim::Simulator& simulator,
     FTGCS_EXPECTS(cfg.d > 0.0 && cfg.U >= 0.0 && cfg.U <= cfg.d);
   }
   arrivals_.resize(static_cast<std::size_t>(cfg.k));
+  offsets_buf_.reserve(static_cast<std::size_t>(cfg.k));
 }
 
 void ClusterSyncEngine::start() {
@@ -45,12 +47,37 @@ void ClusterSyncEngine::begin_round(int r) {
   if (on_round_start) on_round_start(r);
 
   const double base = round_start_logical_;
-  timers_.arm(kPulseTimer, base + cfg_.tau1,
-              [this] { pulse_instant(sim_.now()); });
-  timers_.arm(kPhaseTwoEndTimer, base + cfg_.tau1 + cfg_.tau2,
-              [this] { end_phase_two(sim_.now()); });
-  timers_.arm(kRoundEndTimer, base + round_length(),
-              [this] { begin_round(round_ + 1); });
+  timers_.arm(kPulseTimer, base + cfg_.tau1);
+  timers_.arm(kPhaseTwoEndTimer, base + cfg_.tau1 + cfg_.tau2);
+  timers_.arm(kRoundEndTimer, base + round_length());
+}
+
+void ClusterSyncEngine::on_logical_timer(clocks::LogicalTimerSet::Key key) {
+  switch (key) {
+    case kPulseTimer:
+      pulse_instant(sim_.now());
+      break;
+    case kPhaseTwoEndTimer:
+      end_phase_two(sim_.now());
+      break;
+    case kRoundEndTimer:
+      begin_round(round_ + 1);
+      break;
+    default:
+      FTGCS_ASSERT(false && "unknown timer key");
+  }
+}
+
+void ClusterSyncEngine::on_event(sim::EventKind kind,
+                                 const sim::EventPayload& payload,
+                                 sim::Time now) {
+  // Corollary 3.5: the passive observer's own simulated pulse arrives.
+  FTGCS_ASSERT(kind == sim::EventKind::kPulse);
+  if (round_ == payload.a && listening_) {
+    own_arrival_ = clock_.read(now);
+  } else {
+    ++dropped_pulses_;
+  }
 }
 
 void ClusterSyncEngine::pulse_instant(sim::Time now) {
@@ -60,14 +87,9 @@ void ClusterSyncEngine::pulse_instant(sim::Time now) {
     // loopback delay is drawn from the same physical interval [d−U, d].
     const sim::Duration delay =
         loopback_rng_.uniform(cfg_.d - cfg_.U, cfg_.d);
-    const int r = round_;
-    sim_.after(delay, [this, r] {
-      if (round_ == r && listening_) {
-        own_arrival_ = clock_.read(sim_.now());
-      } else {
-        ++dropped_pulses_;
-      }
-    });
+    sim::EventPayload payload;
+    payload.a = round_;
+    sim_.post_after(delay, sim::EventKind::kPulse, self_, payload);
   }
   // Active mode: the owner broadcasts in on_pulse; the physical loopback
   // delivers to on_member_pulse(own_index_), which records own_arrival_.
@@ -90,23 +112,22 @@ void ClusterSyncEngine::on_member_pulse(int member_index, sim::Time now) {
   }
 }
 
-double ClusterSyncEngine::compute_correction() const {
+double ClusterSyncEngine::compute_correction() {
   // Pulses that did not arrive are clamped to the end of the collection
   // window — the latest moment they could still legitimately arrive.
   const double window_end =
       round_start_logical_ + cfg_.tau1 + cfg_.tau2;
   const double own = own_arrival_.value_or(window_end);
 
-  std::vector<double> offsets;
-  offsets.reserve(arrivals_.size());
+  offsets_buf_.clear();
   for (const auto& arrival : arrivals_) {
-    offsets.push_back(arrival.value_or(window_end) - own);
+    offsets_buf_.push_back(arrival.value_or(window_end) - own);
   }
-  std::sort(offsets.begin(), offsets.end());
+  std::sort(offsets_buf_.begin(), offsets_buf_.end());
   // ∆_v(r) = (S^(f+1) + S^(k−f)) / 2, 1-based order statistics.
   const auto f = static_cast<std::size_t>(cfg_.f);
-  const double lo = offsets[f];
-  const double hi = offsets[offsets.size() - 1 - f];
+  const double lo = offsets_buf_[f];
+  const double hi = offsets_buf_[offsets_buf_.size() - 1 - f];
   return (lo + hi) / 2.0;
 }
 

@@ -64,7 +64,8 @@ struct ClusterSyncConfig {
   int start_round = 1;
 };
 
-class ClusterSyncEngine {
+class ClusterSyncEngine final : public clocks::LogicalTimerSet::Client,
+                                public sim::EventSink {
  public:
   /// `loopback_rng` is used only in passive mode (virtual self-delay).
   ClusterSyncEngine(sim::Simulator& simulator, const ClusterSyncConfig& cfg,
@@ -149,6 +150,14 @@ class ClusterSyncEngine {
     clock_.jump(now, clock_.read(now) + offset);
   }
 
+  /// Typed timer fires (round pulse / phase-2 end / round end).
+  void on_logical_timer(clocks::LogicalTimerSet::Key key) override;
+
+  /// Typed simulator events: the passive replica's simulated loopback
+  /// arrival (kPulse, payload.a = round it was emitted in).
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
+
  private:
   enum TimerKey : clocks::LogicalTimerSet::Key {
     kPulseTimer = 1,
@@ -159,13 +168,14 @@ class ClusterSyncEngine {
   void begin_round(int r);
   void pulse_instant(sim::Time now);
   void end_phase_two(sim::Time now);
-  double compute_correction() const;
+  double compute_correction();
 
   sim::Simulator& sim_;
   ClusterSyncConfig cfg_;
   clocks::LogicalClock clock_;
   clocks::LogicalTimerSet timers_;
   sim::Rng loopback_rng_;
+  sim::SinkId self_ = sim::kInvalidSink;  ///< passive loopback events
 
   int own_index_ = 0;
   int round_ = 0;
@@ -176,6 +186,7 @@ class ClusterSyncEngine {
   /// nullopt = not (yet) received.
   std::vector<std::optional<double>> arrivals_;
   std::optional<double> own_arrival_;  ///< L_v(t_vv)
+  std::vector<double> offsets_buf_;    ///< reused by compute_correction
 
   std::uint64_t violations_ = 0;
   std::uint64_t dropped_pulses_ = 0;

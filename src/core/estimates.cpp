@@ -1,5 +1,7 @@
 #include "core/estimates.h"
 
+#include <algorithm>
+
 #include "support/assert.h"
 
 namespace ftgcs::core {
@@ -14,32 +16,49 @@ EstimateBank::EstimateBank(sim::Simulator& simulator,
                 start_rounds.size() == order_.size());
   ClusterSyncConfig passive_cfg = cfg;
   passive_cfg.active = false;
+  replicas_.reserve(order_.size());
   for (std::size_t i = 0; i < order_.size(); ++i) {
     const int cluster = order_[i];
+    FTGCS_EXPECTS(std::count(order_.begin(), order_.end(), cluster) == 1);
     passive_cfg.start_round = start_rounds.empty() ? 1 : start_rounds[i];
-    auto engine = std::make_unique<ClusterSyncEngine>(
+    replicas_.push_back(std::make_unique<ClusterSyncEngine>(
         simulator, passive_cfg, initial_hardware_rate,
-        rng.fork(static_cast<std::uint64_t>(cluster) + 1));
-    const auto [it, inserted] = replicas_.emplace(cluster, std::move(engine));
-    FTGCS_EXPECTS(inserted);
-    (void)it;
+        rng.fork(static_cast<std::uint64_t>(cluster) + 1)));
   }
+  by_cluster_.resize(order_.size());
+  for (std::size_t i = 0; i < by_cluster_.size(); ++i) by_cluster_[i] = i;
+  std::sort(by_cluster_.begin(), by_cluster_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return order_[a] < order_[b];
+            });
+}
+
+int EstimateBank::find_index(int cluster) const {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (order_[i] == cluster) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::size_t EstimateBank::index_for(int cluster) const {
+  const int i = find_index(cluster);
+  FTGCS_EXPECTS(i >= 0 && "cluster not adjacent");
+  return static_cast<std::size_t>(i);
 }
 
 void EstimateBank::start() {
-  for (auto& [cluster, replica] : replicas_) replica->start();
+  for (std::size_t i : by_cluster_) replicas_[i]->start();
 }
 
-void EstimateBank::on_pulse(int cluster, int member_index, sim::Time now) {
-  auto it = replicas_.find(cluster);
-  FTGCS_EXPECTS(it != replicas_.end());
-  it->second->on_member_pulse(member_index, now);
+bool EstimateBank::route_pulse(int cluster, int member_index, sim::Time now) {
+  const int i = find_index(cluster);
+  if (i < 0) return false;
+  replicas_[static_cast<std::size_t>(i)]->on_member_pulse(member_index, now);
+  return true;
 }
 
 double EstimateBank::estimate(int cluster, sim::Time now) const {
-  auto it = replicas_.find(cluster);
-  FTGCS_EXPECTS(it != replicas_.end());
-  return it->second->clock().read(now);
+  return replicas_[index_for(cluster)]->clock().read(now);
 }
 
 std::vector<double> EstimateBank::all_estimates(sim::Time now) const {
@@ -50,23 +69,19 @@ std::vector<double> EstimateBank::all_estimates(sim::Time now) const {
 }
 
 void EstimateBank::set_hardware_rate(sim::Time now, double rate) {
-  for (auto& [cluster, replica] : replicas_) {
-    replica->set_hardware_rate(now, rate);
+  for (std::size_t i : by_cluster_) {
+    replicas_[i]->set_hardware_rate(now, rate);
   }
 }
 
 std::uint64_t EstimateBank::violations() const {
   std::uint64_t total = 0;
-  for (const auto& [cluster, replica] : replicas_) {
-    total += replica->violations();
-  }
+  for (const auto& replica : replicas_) total += replica->violations();
   return total;
 }
 
 ClusterSyncEngine& EstimateBank::replica(int cluster) {
-  auto it = replicas_.find(cluster);
-  FTGCS_EXPECTS(it != replicas_.end());
-  return *it->second;
+  return *replicas_[index_for(cluster)];
 }
 
 }  // namespace ftgcs::core

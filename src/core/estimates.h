@@ -10,7 +10,6 @@
 // EstimateBank owns one replica per adjacent cluster and routes pulses.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -35,8 +34,10 @@ class EstimateBank {
   /// Starts all replicas (at the global time-0 initialization).
   void start();
 
-  /// Routes a pulse from member `member_index` of `cluster`.
-  void on_pulse(int cluster, int member_index, sim::Time now);
+  /// Routes a pulse iff `cluster` has a replica here; returns whether it
+  /// was routed. One scan replaces the caller's adjacency check + the
+  /// routing lookup on the per-pulse hot path.
+  bool route_pulse(int cluster, int member_index, sim::Time now);
 
   /// L̃_vB(now) for adjacent cluster B = `cluster`.
   double estimate(int cluster, sim::Time now) const;
@@ -56,8 +57,18 @@ class EstimateBank {
   ClusterSyncEngine& replica(int cluster);
 
  private:
+  int find_index(int cluster) const;      ///< −1 if not adjacent
+  std::size_t index_for(int cluster) const;  ///< aborts if not adjacent
+
   std::vector<int> order_;
-  std::map<int, std::unique_ptr<ClusterSyncEngine>> replicas_;
+  /// Parallel to order_. Pulse routing is a linear scan over order_ —
+  /// adjacency degrees are small, and the scan beats a map's pointer chase
+  /// on every delivery.
+  std::vector<std::unique_ptr<ClusterSyncEngine>> replicas_;
+  /// Indices into replicas_ in ascending-cluster order; start() and rate
+  /// changes iterate this to keep the event schedule identical to the
+  /// original (map-ordered) implementation.
+  std::vector<std::size_t> by_cluster_;
 };
 
 }  // namespace ftgcs::core

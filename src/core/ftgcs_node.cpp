@@ -46,6 +46,7 @@ FtGcsNode::FtGcsNode(sim::Simulator& simulator, net::Network& network,
                  options.replica_start_rounds),
       controller_(params.kappa, params.delta_trig, params.c_global,
                   options.enable_global_module) {
+  self_ = simulator.register_sink(this);
   engine_.set_own_index(topo.index_in_cluster(node_id));
 
   edge_active_.assign(estimates_.clusters().size(), true);
@@ -147,16 +148,22 @@ void FtGcsNode::on_pulse(const net::Pulse& pulse, sim::Time now) {
       const int index = topo_.index_in_cluster(pulse.sender);
       if (sender_cluster == cluster_) {
         engine_.on_member_pulse(index, now);
-      } else if (topo_.cluster_graph().has_edge(sender_cluster, cluster_)) {
-        estimates_.on_pulse(sender_cluster, index, now);
+      } else {
+        // route_pulse drops pulses from non-adjacent clusters (the
+        // physical network only connects adjacent ones).
+        estimates_.route_pulse(sender_cluster, index, now);
       }
       break;
     }
     case net::PulseKind::kMaxLevel: {
-      if (max_estimator_) {
+      // Cheap rejects (self-loopback, below the flooding floor) before
+      // the topology lookups: most level pulses in a synchronized system
+      // are stale, and this is the highest-traffic path there is.
+      if (max_estimator_ && pulse.sender != id_ &&
+          !max_estimator_->is_stale_level(pulse.level)) {
         max_estimator_->on_level_pulse(topo_.cluster_of(pulse.sender),
                                        topo_.index_in_cluster(pulse.sender),
-                                       pulse.sender == id_, pulse.level, now);
+                                       /*from_self=*/false, pulse.level, now);
       }
       break;
     }
@@ -174,14 +181,38 @@ void FtGcsNode::set_hardware_rate(sim::Time now, double rate) {
   if (max_estimator_) max_estimator_->set_hardware_rate(now, rate);
 }
 
+namespace {
+// FtGcsNode kTimer payload.a discriminates the scheduled action.
+constexpr std::int32_t kCrashAction = 0;
+constexpr std::int32_t kInjectAction = 1;
+}  // namespace
+
 void FtGcsNode::crash_at(sim::Time t) {
-  sim_.at(t, [this] { crashed_ = true; });
+  sim::EventPayload payload;
+  payload.a = kCrashAction;
+  sim_.post_at(t, sim::EventKind::kTimer, self_, payload);
 }
 
 void FtGcsNode::inject_transient_fault_at(sim::Time t, double offset) {
-  sim_.at(t, [this, offset] {
-    engine_.inject_transient_fault(sim_.now(), offset);
-  });
+  sim::EventPayload payload;
+  payload.a = kInjectAction;
+  payload.x = offset;
+  sim_.post_at(t, sim::EventKind::kTimer, self_, payload);
+}
+
+void FtGcsNode::on_event(sim::EventKind kind,
+                         const sim::EventPayload& payload, sim::Time now) {
+  FTGCS_ASSERT(kind == sim::EventKind::kTimer);
+  switch (payload.a) {
+    case kCrashAction:
+      crashed_ = true;
+      break;
+    case kInjectAction:
+      engine_.inject_transient_fault(now, payload.x);
+      break;
+    default:
+      FTGCS_ASSERT(false && "unknown node action");
+  }
 }
 
 void FtGcsNode::set_edge_active(int cluster, bool active) {

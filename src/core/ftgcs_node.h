@@ -53,7 +53,7 @@ struct FtGcsNodeOptions {
   std::vector<double> edge_weights;
 };
 
-class FtGcsNode {
+class FtGcsNode final : public net::PulseSink, public sim::EventSink {
  public:
   using Options = FtGcsNodeOptions;
 
@@ -68,8 +68,13 @@ class FtGcsNode {
   /// global time-0 initialization.
   void start();
 
-  /// Network receive entry point (installed as the node's handler).
-  void on_pulse(const net::Pulse& pulse, sim::Time now);
+  /// Network receive entry point (the node registers itself as the typed
+  /// sink for its id).
+  void on_pulse(const net::Pulse& pulse, sim::Time now) override;
+
+  /// Typed simulator events: scheduled crash / transient-fault injection.
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
 
   /// Drift-model sink.
   void set_hardware_rate(sim::Time now, double rate);
@@ -134,6 +139,7 @@ class FtGcsNode {
   int id_;
   int cluster_;
   Options options_;
+  sim::SinkId self_ = sim::kInvalidSink;
 
   clocks::HardwareClock hardware_;
   ClusterSyncEngine engine_;

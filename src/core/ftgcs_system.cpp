@@ -16,6 +16,16 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
 
   sim::Rng master(config_.seed);
 
+  // Pre-warm the event pool: every in-flight message and timer gets a slot
+  // without growing the pool mid-run. Degree+loopback bounds the messages
+  // a node can have in flight per delay window; timers add a handful.
+  std::size_t max_degree = 0;
+  for (const auto& neighbors : topo_.adjacency()) {
+    max_degree = std::max(max_degree, neighbors.size());
+  }
+  sim_.reserve_events(static_cast<std::size_t>(topo_.num_nodes()) *
+                      (max_degree + 9));
+
   auto delays = config_.delay_model
                     ? std::move(config_.delay_model)
                     : std::make_unique<net::UniformDelay>(config_.params.d,
@@ -44,11 +54,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
       ctx.rng = master.fork(1000 + static_cast<std::uint64_t>(id));
       byz_nodes_.push_back(std::make_unique<byz::ByzantineNode>(
           std::move(ctx), byz::make_strategy(it->kind, it->param)));
-      byz::ByzantineNode* raw = byz_nodes_.back().get();
-      network_->register_handler(
-          id, [raw](const net::Pulse& pulse, sim::Time now) {
-            raw->on_pulse(pulse, now);
-          });
+      network_->register_handler(id, byz_nodes_.back().get());
     } else {
       FtGcsNode::Options options;
       options.enable_global_module = config_.enable_global_module;
@@ -84,11 +90,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
           sim_, *network_, topo_, config_.params, id,
           master.fork(2000 + static_cast<std::uint64_t>(id)), options);
       ++num_correct_;
-      FtGcsNode* raw = nodes_[id].get();
-      network_->register_handler(
-          id, [raw](const net::Pulse& pulse, sim::Time now) {
-            raw->on_pulse(pulse, now);
-          });
+      network_->register_handler(id, nodes_[id].get());
     }
   }
 
@@ -208,6 +210,22 @@ SystemSnapshot FtGcsSystem::snapshot() const {
     snap.nodes.push_back(state);
   }
   return snap;
+}
+
+void FtGcsSystem::snapshot_columns(SystemColumns& out) const {
+  const int n = topo_.num_nodes();
+  out.at = sim_.now();
+  out.logical.assign(static_cast<std::size_t>(n), 0.0);
+  out.correct.assign(static_cast<std::size_t>(n), 0);
+  out.gamma.assign(static_cast<std::size_t>(n), 0);
+  for (int id = 0; id < n; ++id) {
+    // A crashed node is a (benign) faulty node: for the rest of the
+    // system it is equivalent to removing its links (paper §1/App. A).
+    if (nodes_[id] == nullptr || nodes_[id]->crashed()) continue;
+    out.correct[static_cast<std::size_t>(id)] = 1;
+    out.logical[static_cast<std::size_t>(id)] = nodes_[id]->logical(out.at);
+    out.gamma[static_cast<std::size_t>(id)] = nodes_[id]->gamma();
+  }
 }
 
 void FtGcsSystem::set_edge_active(int b, int c, bool active) {

@@ -3,6 +3,7 @@
 // ground-truth state to metrics and experiments.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -19,6 +20,18 @@
 #include "sim/simulator.h"
 
 namespace ftgcs::core {
+
+/// Columnar ground-truth state: one array per field, indexed by node id.
+/// Refilling reuses capacity, so periodic probes allocate nothing after the
+/// first sample — the metrics layer reads these arrays directly.
+struct SystemColumns {
+  sim::Time at = 0.0;
+  std::vector<double> logical;        ///< L_v(at); 0 for faulty ids
+  std::vector<std::uint8_t> correct;  ///< 1 = correct and not crashed
+  std::vector<std::int32_t> gamma;    ///< γ_v; 0 for faulty ids
+
+  int num_nodes() const { return static_cast<int>(logical.size()); }
+};
 
 /// Ground-truth state of every node at one instant.
 struct SystemSnapshot {
@@ -93,6 +106,9 @@ class FtGcsSystem {
   std::optional<double> cluster_clock(int cluster) const;
 
   SystemSnapshot snapshot() const;
+
+  /// Columnar snapshot into a caller-owned buffer (reused across probes).
+  void snapshot_columns(SystemColumns& out) const;
 
   /// Sum of proper-execution violations over all correct nodes.
   std::uint64_t total_violations() const;

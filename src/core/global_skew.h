@@ -19,14 +19,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
+#include <vector>
 
 #include "sim/simulator.h"
 
 namespace ftgcs::core {
 
-class MaxEstimator {
+class MaxEstimator final : public sim::EventSink {
  public:
   struct Config {
     double d = 0.0;    ///< max delay; level spacing is d − U
@@ -53,6 +52,11 @@ class MaxEstimator {
   void on_level_pulse(int cluster, int member_index, bool from_self,
                       int level, sim::Time now);
 
+  /// True if a level pulse carries no news (level below the flooding
+  /// floor). Callers may use this to skip work before routing; the same
+  /// filter is applied inside on_level_pulse.
+  bool is_stale_level(int level) const { return level < next_level_ - 1; }
+
   /// Folds the node's own logical clock value into M_v: L_v is always a
   /// lower bound on L^max, and the flooding argument of Lemma C.2 relies
   /// on M_w(t) ≥ L_w(t). Called by the owner at round starts.
@@ -64,6 +68,10 @@ class MaxEstimator {
   std::uint64_t jumps() const { return jumps_; }
   int highest_level_sent() const { return next_level_ - 1; }
 
+  /// EventSink: the pending level-emission timer (kTimer).
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
+
  private:
   void advance(sim::Time now);
   void schedule_next_emission(sim::Time now);
@@ -71,6 +79,7 @@ class MaxEstimator {
 
   sim::Simulator& sim_;
   Config cfg_;
+  sim::SinkId self_ = sim::kInvalidSink;
   double spacing_;  ///< d − U
 
   sim::Time t0_ = 0.0;
@@ -80,8 +89,35 @@ class MaxEstimator {
   int next_level_ = 1;  ///< next level to emit
   sim::EventId pending_emit_{};
 
-  /// cluster -> level -> distinct member indices heard.
-  std::map<int, std::map<int, std::set<int>>> heard_;
+  /// Distinct member indices heard per (cluster, level), kept flat: one
+  /// entry per sending cluster (linear scan — degrees are small), holding
+  /// a sliding window of member bitmasks indexed by level − base. Levels
+  /// below next_level_ − 1 are stale by the staleness filter, so the
+  /// window's base advances with next_level_ and the structure stays tiny
+  /// — and, unlike the map-of-map-of-set it replaces, processing a level
+  /// pulse allocates nothing once the window is warm. Each level owns
+  /// `words` 64-bit words; the stride regrows (rare) if a member index
+  /// ≥ 64·words appears, so any cluster size k is supported.
+  /// Dense levels span at most kWindowLevels above the base; levels past
+  /// that (reachable only via forged pulses or extreme ramps) go to the
+  /// sparse `overflow` list, so a Byzantine kMaxLevel pulse with a huge
+  /// level costs one small allocation — as with the old map — instead of
+  /// an O(level) window resize.
+  static constexpr int kWindowLevels = 4096;
+  struct HeardWindow {
+    int cluster = -1;
+    int base = 1;          ///< level of the first stride block
+    std::size_t words = 1; ///< 64-bit words per level
+    std::vector<std::uint64_t> bits;  ///< bits[(level − base)·words + w]
+    /// (level, member bitmask words) for levels ≥ base + kWindowLevels.
+    std::vector<std::pair<int, std::vector<std::uint64_t>>> overflow;
+  };
+  HeardWindow& heard_window(int cluster);
+  /// Sets `member_index`'s bit for `level` and returns the number of
+  /// distinct members heard at that level.
+  int heard_insert(HeardWindow& window, int level, int member_index);
+
+  std::vector<HeardWindow> heard_;
   std::uint64_t jumps_ = 0;
   bool started_ = false;
 };

@@ -163,6 +163,50 @@ ScenarioSpec e9_overhead_scaling() {
   return spec;
 }
 
+// Large-grid family — throughput workloads for the typed event engine.
+// These are not paper-claim experiments: they exist so the registry can
+// drive production-scale topologies (10k+ clusters) and report the
+// simulator's event throughput on them (`ftgcs_bench run large_ring
+// --timing`). Short horizon, sparse probes: the cost is dominated by the
+// pulse traffic itself, which is the thing being measured.
+ScenarioSpec large_family(ScenarioSpec spec) {
+  spec.horizon.base_rounds = 20.0;
+  spec.probe_interval_rounds = 5.0;
+  spec.seeds = {1};
+  spec.axes = {{"clusters", values_of({1000, 5000, 10000})}};
+  spec.columns = {"clusters",  "nodes",      "edges",  "max_degree",
+                  "events",    "max_local",  "max_global",
+                  "msgs_round_node"};
+  return spec;
+}
+
+ScenarioSpec large_ring() {
+  ScenarioSpec spec;
+  spec.name = "large_ring";
+  spec.title = "engine headroom: ring at N in {1k, 5k, 10k} clusters";
+  spec.description =
+      "Fault-tolerant ring (f = 1, k = 4) at production scale — 4k to 40k "
+      "nodes of pure pulse traffic over a 20-round horizon. Run with "
+      "--timing for events/sec; the skew columns double as a sanity check "
+      "that the protocol stays synchronized at scale.";
+  spec.topology.kind = TopologyKind::kRing;
+  return large_family(std::move(spec));
+}
+
+ScenarioSpec large_torus() {
+  ScenarioSpec spec;
+  spec.name = "large_torus";
+  spec.title = "engine headroom: square torus at N in {1k, 5k, 10k} clusters";
+  spec.description =
+      "Fault-tolerant square torus (f = 1, k = 4; TRIX-style grid fabric, "
+      "degree-4 cluster graph) at 1k/5k/10k clusters. The denser augmented "
+      "edge set makes this the heaviest registered workload per round.";
+  spec.topology.kind = TopologyKind::kTorus;
+  spec.topology.a = 32;
+  spec.topology.b = 32;
+  return large_family(std::move(spec));
+}
+
 // Protocol-selection demo: the plain (non-FT) GCS baseline under a single
 // pump fault on a ring — the failure mode FT-GCS exists to prevent (E8).
 ScenarioSpec e8_gcs_pump_baseline() {
@@ -201,6 +245,8 @@ void register_builtin_scenarios() {
   registry.add(e6_split_drift_containment());
   registry.add(e9_overhead_scaling());
   registry.add(e8_gcs_pump_baseline());
+  registry.add(large_ring());
+  registry.add(large_torus());
 }
 
 }  // namespace ftgcs::exp

@@ -137,11 +137,12 @@ RunResult run_ftgcs(const ResolvedRun& run) {
 
   SampleMaxima agg;
   const double steady_after = run.steady_after_rounds * params.T;
+  core::SystemColumns columns;  // reused across probes (columnar reads)
   for (double t : sample_times(run.horizon_rounds, run.probe_interval_rounds,
                                params.T)) {
     system.run_until(t);
-    const auto snapshot = system.snapshot();
-    const auto skews = metrics::measure_skews(snapshot, topo);
+    system.snapshot_columns(columns);
+    const auto skews = metrics::measure_skews(columns, topo);
     agg.max_local = std::max(agg.max_local, skews.cluster_local);
     agg.max_node_local = std::max(agg.max_node_local, skews.node_local);
     agg.max_intra = std::max(agg.max_intra, skews.intra_cluster);
@@ -155,8 +156,10 @@ RunResult run_ftgcs(const ResolvedRun& run) {
     agg.final_global = skews.cluster_global;
     if (run.measure_m_lag) {
       double lmax = 0.0;
-      for (const auto& node : snapshot.nodes) {
-        if (node.correct) lmax = std::max(lmax, node.logical);
+      for (int id = 0; id < columns.num_nodes(); ++id) {
+        if (columns.correct[static_cast<std::size_t>(id)]) {
+          lmax = std::max(lmax, columns.logical[static_cast<std::size_t>(id)]);
+        }
       }
       const sim::Time now = system.simulator().now();
       for (int id = 0; id < topo.num_nodes(); ++id) {

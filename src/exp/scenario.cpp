@@ -87,9 +87,22 @@ void TopologySpec::set_clusters(int n) {
     case TopologyKind::kGnp:
       a = n;
       return;
+    case TopologyKind::kGrid:
+    case TopologyKind::kTorus: {
+      // Exact factorization w×h = n with w the largest divisor ≤ √n, so a
+      // "clusters" axis row simulates exactly the labeled count (the
+      // large-grid family's values 1000/5000/10000 give 25×40, 50×100,
+      // 100×100). Prime n degenerates to 1×n — truthful, if elongated.
+      a = static_cast<int>(std::sqrt(static_cast<double>(n)));
+      while (a > 1 && n % a != 0) --a;
+      if (a < 1) a = 1;
+      b = n / a;
+      return;
+    }
     default:
       throw std::invalid_argument(
-          "axis 'clusters' is only supported for 1-parameter topologies");
+          "axis 'clusters' is only supported for 1-parameter and square "
+          "topologies");
   }
 }
 

@@ -45,18 +45,33 @@ std::vector<std::string> axis_cells(const SweepResult& result,
   return cells;
 }
 
+bool has_timing(const SweepResult& result) {
+  return result.timing.size() == result.rows.size() && !result.rows.empty();
+}
+
 }  // namespace
 
 void TableSink::write(const SweepResult& result, std::ostream& os) const {
   std::vector<std::string> headers = result.axis_names;
   for (const auto& column : result.columns) headers.push_back(column);
+  if (has_timing(result)) {
+    headers.push_back("wall_ms");
+    headers.push_back("events_per_sec");
+  }
   metrics::Table table(std::move(headers));
-  for (const auto& row : result.rows) {
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const RunResult& row = result.rows[r];
     std::vector<std::string> cells = axis_cells(result, row);
     for (const auto& column : result.columns) {
       cells.push_back(row.has_metric(column)
                           ? format_metric(column, row.metric(column))
                           : "-");
+    }
+    if (has_timing(result)) {
+      cells.push_back(metrics::Table::integer(
+          static_cast<long long>(result.timing[r].wall_ms + 0.5)));
+      cells.push_back(metrics::Table::integer(
+          static_cast<long long>(result.timing[r].events_per_sec + 0.5)));
     }
     table.add_row(std::move(cells));
   }
@@ -72,8 +87,10 @@ void CsvSink::write(const SweepResult& result, std::ostream& os) const {
   for (const auto& [name, value] : result.rows.front().metrics) {
     os << ',' << name;
   }
+  if (has_timing(result)) os << ",wall_ms,events_per_sec";
   os << '\n';
-  for (const auto& row : result.rows) {
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const RunResult& row = result.rows[r];
     const auto cells = axis_cells(result, row);
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) os << ',';
@@ -82,12 +99,17 @@ void CsvSink::write(const SweepResult& result, std::ostream& os) const {
     for (const auto& [name, value] : row.metrics) {
       os << ',' << raw(value);
     }
+    if (has_timing(result)) {
+      os << ',' << raw(result.timing[r].wall_ms) << ','
+         << raw(result.timing[r].events_per_sec);
+    }
     os << '\n';
   }
 }
 
 void JsonLinesSink::write(const SweepResult& result, std::ostream& os) const {
-  for (const auto& row : result.rows) {
+  for (std::size_t r = 0; r < result.rows.size(); ++r) {
+    const RunResult& row = result.rows[r];
     os << "{\"scenario\":\"" << result.scenario << "\",\"point\":{";
     bool first = true;
     for (const auto& [axis, label] : row.point) {
@@ -104,7 +126,12 @@ void JsonLinesSink::write(const SweepResult& result, std::ostream& os) const {
       first = false;
       os << '"' << name << "\":" << raw(value);
     }
-    os << "}}\n";
+    os << '}';
+    if (has_timing(result)) {
+      os << ",\"wall_ms\":" << raw(result.timing[r].wall_ms)
+         << ",\"events_per_sec\":" << raw(result.timing[r].events_per_sec);
+    }
+    os << "}\n";
   }
 }
 

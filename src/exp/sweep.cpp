@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -43,7 +44,8 @@ std::vector<Task> expand_grid(const ScenarioSpec& spec) {
   }
 }
 
-RunResult execute(const ScenarioSpec& base, const Task& task) {
+RunResult execute(const ScenarioSpec& base, const Task& task,
+                  double& wall_ms) {
   ScenarioSpec spec = base;
   std::vector<std::pair<std::string, std::string>> point;
   point.reserve(base.axes.size());
@@ -53,7 +55,10 @@ RunResult execute(const ScenarioSpec& base, const Task& task) {
     apply_axis(spec, axis.name, value.value);
     point.emplace_back(axis.name, format_axis_value(value));
   }
+  const auto t0 = std::chrono::steady_clock::now();
   RunResult result = run_point(spec, task.seed);
+  const auto t1 = std::chrono::steady_clock::now();
+  wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   result.scenario = base.name;
   result.point = std::move(point);
   return result;
@@ -90,12 +95,13 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   FTGCS_EXPECTS(!tasks.empty());
 
   std::vector<RunResult> results(tasks.size());
+  std::vector<double> wall_ms(tasks.size(), 0.0);
   const int threads = std::max(
       1, std::min<int>(options_.threads, static_cast<int>(tasks.size())));
 
   if (threads == 1) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      results[i] = execute(spec, tasks[i]);
+      results[i] = execute(spec, tasks[i], wall_ms[i]);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -110,7 +116,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
           const std::size_t i = next.fetch_add(1);
           if (i >= tasks.size() || failed.load()) return;
           try {
-            results[i] = execute(spec, tasks[i]);
+            results[i] = execute(spec, tasks[i], wall_ms[i]);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -128,6 +134,26 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   sweep.scenario = spec.name;
   for (const auto& axis : spec.axes) sweep.axis_names.push_back(axis.name);
 
+  const auto task_events = [&results](std::size_t i) {
+    return results[i].has_metric("events") ? results[i].metric("events")
+                                           : 0.0;
+  };
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    sweep.total_wall_ms += wall_ms[i];
+    sweep.total_events += task_events(i);
+  }
+
+  const auto row_timing = [&](std::size_t first_task, std::size_t n_tasks) {
+    SweepResult::RowTiming t;
+    double events = 0.0;
+    for (std::size_t i = first_task; i < first_task + n_tasks; ++i) {
+      t.wall_ms += wall_ms[i];
+      events += task_events(i);
+    }
+    t.events_per_sec = t.wall_ms > 0.0 ? events / (t.wall_ms / 1000.0) : 0.0;
+    return t;
+  };
+
   if (spec.aggregation == SeedAggregation::kWorstOverSeeds &&
       spec.seeds.size() > 1) {
     // Seeds are innermost, so each grid point's rows are contiguous.
@@ -138,9 +164,15 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
         group.push_back(&results[start + s]);
       }
       sweep.rows.push_back(reduce_worst(group));
+      if (options_.timing) sweep.timing.push_back(row_timing(start, stride));
     }
   } else {
     if (spec.seeds.size() > 1) sweep.axis_names.push_back("seed");
+    if (options_.timing) {
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        sweep.timing.push_back(row_timing(i, 1));
+      }
+    }
     sweep.rows = std::move(results);
   }
 

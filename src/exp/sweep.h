@@ -28,10 +28,24 @@ struct SweepResult {
   /// metric when the scenario did not choose).
   std::vector<std::string> columns;
   std::vector<RunResult> rows;  ///< grid order, independent of thread count
+
+  /// Wall-clock measurements. Populated per row only when
+  /// SweepOptions::timing is set (timing is machine-dependent, so it is
+  /// kept out of the deterministic metric schema); totals are always
+  /// filled. events_per_sec relates the row's simulated "events" metric to
+  /// its wall time.
+  struct RowTiming {
+    double wall_ms = 0.0;
+    double events_per_sec = 0.0;
+  };
+  std::vector<RowTiming> timing;  ///< parallel to rows; empty if disabled
+  double total_wall_ms = 0.0;     ///< sum of task wall times
+  double total_events = 0.0;      ///< sum of simulated events over tasks
 };
 
 struct SweepOptions {
-  int threads = 1;  ///< worker threads; clamped to [1, #tasks]
+  int threads = 1;     ///< worker threads; clamped to [1, #tasks]
+  bool timing = false; ///< emit per-row wall_ms / events_per_sec columns
 };
 
 class SweepRunner {

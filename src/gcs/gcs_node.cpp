@@ -45,10 +45,11 @@ GcsNode::GcsNode(sim::Simulator& simulator, net::Network& network,
       hardware_(simulator.now(), 0.0, 1.0),
       // ϕ = 0: the plain GCS has no amortization layer, only γ.
       clock_(0.0, params.mu, 1.0, simulator.now(), 0.0),
-      timers_(simulator, clock_),
+      timers_(simulator, clock_, this),
       last_share_(neighbors.size()) {
   FTGCS_EXPECTS(params.broadcast_period > 0.0);
   FTGCS_EXPECTS(params.kappa > 0.0);
+  estimates_buf_.reserve(neighbors.size());
 }
 
 void GcsNode::start() {
@@ -59,13 +60,15 @@ void GcsNode::start() {
 }
 
 void GcsNode::arm_next(double logical_target) {
-  timers_.arm(1, logical_target, [this] {
-    const sim::Time now = sim_.now();
-    broadcast_share(now);
-    evaluate_triggers(now);
-    next_tick_ += params_.broadcast_period;
-    arm_next(next_tick_);
-  });
+  timers_.arm(1, logical_target);
+}
+
+void GcsNode::on_logical_timer(clocks::LogicalTimerSet::Key /*key*/) {
+  const sim::Time now = sim_.now();
+  broadcast_share(now);
+  evaluate_triggers(now);
+  next_tick_ += params_.broadcast_period;
+  arm_next(next_tick_);
 }
 
 void GcsNode::broadcast_share(sim::Time now) {
@@ -102,8 +105,8 @@ std::optional<double> GcsNode::estimate(int w, sim::Time now) const {
 }
 
 void GcsNode::evaluate_triggers(sim::Time now) {
-  std::vector<double> estimates;
-  estimates.reserve(neighbors_.size());
+  std::vector<double>& estimates = estimates_buf_;
+  estimates.clear();
   for (int w : neighbors_) {
     const auto est = estimate(w, now);
     if (est) estimates.push_back(*est);

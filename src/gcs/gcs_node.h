@@ -62,7 +62,8 @@ struct GcsParams {
   double estimate_error() const;
 };
 
-class GcsNode {
+class GcsNode final : public net::PulseSink,
+                      public clocks::LogicalTimerSet::Client {
  public:
   GcsNode(sim::Simulator& simulator, net::Network& network,
           const GcsParams& params, int node_id,
@@ -70,7 +71,10 @@ class GcsNode {
 
   void start();
 
-  void on_pulse(const net::Pulse& pulse, sim::Time now);
+  void on_pulse(const net::Pulse& pulse, sim::Time now) override;
+
+  /// Typed share-tick timer.
+  void on_logical_timer(clocks::LogicalTimerSet::Key key) override;
 
   /// Drift sink.
   void set_hardware_rate(sim::Time now, double rate);
@@ -103,6 +107,7 @@ class GcsNode {
     bool seen = false;
   };
   std::vector<Neighbor> last_share_;  ///< parallel to neighbors_
+  std::vector<double> estimates_buf_;  ///< reused by evaluate_triggers
   double next_tick_ = 0.0;
 };
 

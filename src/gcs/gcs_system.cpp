@@ -11,6 +11,7 @@ namespace ftgcs::gcs {
 
 GcsSystem::GcsSystem(net::Graph graph, Config config)
     : graph_(std::move(graph)), config_(std::move(config)) {
+  self_ = sim_.register_sink(this);
   sim::Rng master(config_.seed);
   auto delays = config_.delay_model
                     ? std::move(config_.delay_model)
@@ -25,17 +26,12 @@ GcsSystem::GcsSystem(net::Graph graph, Config config)
         std::find(config_.pump_nodes.begin(), config_.pump_nodes.end(), id) !=
         config_.pump_nodes.end();
     if (faulty) {
-      network_->register_handler(id,
-                                 [](const net::Pulse&, sim::Time) {});
+      network_->register_null_handler(id);
       continue;
     }
     nodes_[id] = std::make_unique<GcsNode>(sim_, *network_, config_.params,
                                            id, graph_.neighbors(id));
-    GcsNode* raw = nodes_[id].get();
-    network_->register_handler(
-        id, [raw](const net::Pulse& pulse, sim::Time now) {
-          raw->on_pulse(pulse, now);
-        });
+    network_->register_handler(id, nodes_[id].get());
   }
 
   drift_ = config_.drift_model
@@ -84,8 +80,16 @@ void GcsSystem::pump_tick(int node) {
     pulse.value = to < node ? honest - offset : honest + offset;
     network_->unicast(node, to, pulse);
   }
-  sim_.after(config_.params.broadcast_period,
-             [this, node] { pump_tick(node); });
+  sim::EventPayload payload;
+  payload.a = node;
+  sim_.post_after(config_.params.broadcast_period, sim::EventKind::kTimer,
+                  self_, payload);
+}
+
+void GcsSystem::on_event(sim::EventKind kind,
+                         const sim::EventPayload& payload, sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kTimer);
+  pump_tick(payload.a);
 }
 
 double GcsSystem::node_logical(int id) const {

@@ -14,7 +14,7 @@
 
 namespace ftgcs::gcs {
 
-class GcsSystem {
+class GcsSystem final : public sim::EventSink {
  public:
   struct Config {
     GcsParams params;
@@ -45,12 +45,17 @@ class GcsSystem {
   /// Max |L_v − L_w| over all correct pairs.
   double global_skew() const;
 
+  /// EventSink: pump-node tick (kTimer, payload.a = node).
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
+
  private:
   void pump_tick(int node);
 
   net::Graph graph_;
   Config config_;
   sim::Simulator sim_;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<GcsNode>> nodes_;  // null for faulty ids
   std::unique_ptr<clocks::DriftModel> drift_;

@@ -8,83 +8,124 @@
 
 namespace ftgcs::metrics {
 
-SkewSample measure_skews(const core::SystemSnapshot& snapshot,
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-thread scratch for the cluster reductions, so periodic probes and
+/// tight sweep loops do not allocate per sample (SweepRunner workers each
+/// get their own copy).
+struct Scratch {
+  std::vector<double> cluster_lo;
+  std::vector<double> cluster_hi;
+  std::vector<double> cluster_clock;
+};
+
+Scratch& scratch() {
+  thread_local Scratch s;
+  return s;
+}
+
+}  // namespace
+
+SkewSample measure_skews(const core::SystemColumns& columns,
                          const net::AugmentedTopology& topo) {
   SkewSample out;
-  out.at = snapshot.at;
+  out.at = columns.at;
 
-  const auto& nodes = snapshot.nodes;
+  const int n = columns.num_nodes();
+  FTGCS_EXPECTS(n == topo.num_nodes());
 
   // Cluster clocks L_C = (L⁺ + L⁻)/2 over correct members, plus global
-  // node-level extremes.
+  // node-level extremes — one linear pass over the columns.
   const int clusters = topo.num_clusters();
-  std::vector<double> cluster_lo(clusters,
-                                 std::numeric_limits<double>::infinity());
-  std::vector<double> cluster_hi(clusters,
-                                 -std::numeric_limits<double>::infinity());
-  double global_lo = std::numeric_limits<double>::infinity();
-  double global_hi = -std::numeric_limits<double>::infinity();
-  for (const auto& node : nodes) {
-    if (!node.correct) continue;
-    cluster_lo[node.cluster] = std::min(cluster_lo[node.cluster], node.logical);
-    cluster_hi[node.cluster] = std::max(cluster_hi[node.cluster], node.logical);
-    global_lo = std::min(global_lo, node.logical);
-    global_hi = std::max(global_hi, node.logical);
+  Scratch& s = scratch();
+  s.cluster_lo.assign(static_cast<std::size_t>(clusters), kInf);
+  s.cluster_hi.assign(static_cast<std::size_t>(clusters), -kInf);
+  double global_lo = kInf;
+  double global_hi = -kInf;
+  for (int id = 0; id < n; ++id) {
+    if (!columns.correct[static_cast<std::size_t>(id)]) continue;
+    const double logical = columns.logical[static_cast<std::size_t>(id)];
+    const auto c = static_cast<std::size_t>(topo.cluster_of(id));
+    s.cluster_lo[c] = std::min(s.cluster_lo[c], logical);
+    s.cluster_hi[c] = std::max(s.cluster_hi[c], logical);
+    global_lo = std::min(global_lo, logical);
+    global_hi = std::max(global_hi, logical);
   }
   out.node_global = global_hi >= global_lo ? global_hi - global_lo : 0.0;
 
-  std::vector<double> cluster_clock(clusters);
-  std::vector<bool> cluster_alive(clusters, false);
-  double cg_lo = std::numeric_limits<double>::infinity();
-  double cg_hi = -std::numeric_limits<double>::infinity();
+  s.cluster_clock.assign(static_cast<std::size_t>(clusters), 0.0);
+  double cg_lo = kInf;
+  double cg_hi = -kInf;
   for (int c = 0; c < clusters; ++c) {
-    if (cluster_hi[c] >= cluster_lo[c]) {
-      cluster_alive[c] = true;
-      cluster_clock[c] = (cluster_lo[c] + cluster_hi[c]) / 2.0;
-      cg_lo = std::min(cg_lo, cluster_clock[c]);
-      cg_hi = std::max(cg_hi, cluster_clock[c]);
-      out.intra_cluster =
-          std::max(out.intra_cluster, cluster_hi[c] - cluster_lo[c]);
-    }
+    const auto i = static_cast<std::size_t>(c);
+    if (s.cluster_hi[i] < s.cluster_lo[i]) continue;  // no correct member
+    s.cluster_clock[i] = (s.cluster_lo[i] + s.cluster_hi[i]) / 2.0;
+    cg_lo = std::min(cg_lo, s.cluster_clock[i]);
+    cg_hi = std::max(cg_hi, s.cluster_clock[i]);
+    out.intra_cluster =
+        std::max(out.intra_cluster, s.cluster_hi[i] - s.cluster_lo[i]);
   }
   out.cluster_global = cg_hi >= cg_lo ? cg_hi - cg_lo : 0.0;
 
-  // Cluster-local skew over E.
+  // Cluster-local skew over E, and node-local skew over augmented edges
+  // between correct nodes. Cluster edges are covered by intra-cluster
+  // extremes; intercluster edges need the pairwise extremes of adjacent
+  // clusters.
+  out.node_local = out.intra_cluster;
   const net::Graph& g = topo.cluster_graph();
   for (int b = 0; b < clusters; ++b) {
-    if (!cluster_alive[b]) continue;
+    const auto bi = static_cast<std::size_t>(b);
+    if (s.cluster_hi[bi] < s.cluster_lo[bi]) continue;
     for (int c : g.neighbors(b)) {
-      if (c < b || !cluster_alive[c]) continue;
-      out.cluster_local = std::max(
-          out.cluster_local, std::abs(cluster_clock[b] - cluster_clock[c]));
-    }
-  }
-
-  // Node-local skew over augmented edges between correct nodes. Cluster
-  // edges are covered by intra-cluster extremes; intercluster edges need
-  // the pairwise extremes of adjacent clusters.
-  out.node_local = out.intra_cluster;
-  for (int b = 0; b < clusters; ++b) {
-    if (!cluster_alive[b]) continue;
-    for (int c : g.neighbors(b)) {
-      if (c < b || !cluster_alive[c]) continue;
+      const auto ci = static_cast<std::size_t>(c);
+      if (c < b || s.cluster_hi[ci] < s.cluster_lo[ci]) continue;
+      out.cluster_local =
+          std::max(out.cluster_local,
+                   std::abs(s.cluster_clock[bi] - s.cluster_clock[ci]));
       const double spread =
-          std::max(std::abs(cluster_hi[b] - cluster_lo[c]),
-                   std::abs(cluster_hi[c] - cluster_lo[b]));
+          std::max(std::abs(s.cluster_hi[bi] - s.cluster_lo[ci]),
+                   std::abs(s.cluster_hi[ci] - s.cluster_lo[bi]));
       out.node_local = std::max(out.node_local, spread);
     }
   }
   return out;
 }
 
+SkewSample measure_skews(const core::SystemSnapshot& snapshot,
+                         const net::AugmentedTopology& topo) {
+  core::SystemColumns columns;
+  columns.at = snapshot.at;
+  const std::size_t n = snapshot.nodes.size();
+  columns.logical.assign(n, 0.0);
+  columns.correct.assign(n, 0);
+  columns.gamma.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& node = snapshot.nodes[i];
+    columns.correct[i] = node.correct ? 1 : 0;
+    columns.logical[i] = node.logical;
+    columns.gamma[i] = node.gamma;
+  }
+  return measure_skews(columns, topo);
+}
+
 SkewProbe::SkewProbe(core::FtGcsSystem& system, sim::Duration interval,
                      sim::Time steady_after)
     : system_(system), interval_(interval), steady_after_(steady_after) {
   FTGCS_EXPECTS(interval > 0.0);
+  self_ = system.simulator().register_sink(this);
 }
 
 void SkewProbe::start() {
-  system_.simulator().after(interval_, [this] { sample_once(); });
+  system_.simulator().post_after(interval_, sim::EventKind::kProbe, self_,
+                                 {});
+}
+
+void SkewProbe::on_event(sim::EventKind kind, const sim::EventPayload&,
+                         sim::Time /*now*/) {
+  FTGCS_ASSERT(kind == sim::EventKind::kProbe);
+  sample_once();
 }
 
 namespace {
@@ -101,15 +142,16 @@ void fold_max(SkewSample& into, const SkewSample& sample) {
 }  // namespace
 
 void SkewProbe::sample_once() {
-  const SkewSample sample =
-      measure_skews(system_.snapshot(), system_.topology());
+  system_.snapshot_columns(columns_);
+  const SkewSample sample = measure_skews(columns_, system_.topology());
   samples_.push_back(sample);
   fold_max(overall_max_, sample);
   if (sample.at >= steady_after_) {
     fold_max(steady_max_, sample);
     ++steady_samples_;
   }
-  system_.simulator().after(interval_, [this] { sample_once(); });
+  system_.simulator().post_after(interval_, sim::EventKind::kProbe, self_,
+                                 {});
 }
 
 }  // namespace ftgcs::metrics

@@ -31,11 +31,17 @@ struct SkewSample {
   double cluster_global = 0.0;
 };
 
-/// Computes one sample from a snapshot + topology.
+/// Computes one sample from columnar node-state arrays + topology. This is
+/// the allocation-light hot path: probes refill one SystemColumns buffer
+/// and scan the arrays directly.
+SkewSample measure_skews(const core::SystemColumns& columns,
+                         const net::AugmentedTopology& topo);
+
+/// Convenience overload over a row-of-structs snapshot (tests, examples).
 SkewSample measure_skews(const core::SystemSnapshot& snapshot,
                          const net::AugmentedTopology& topo);
 
-class SkewProbe {
+class SkewProbe final : public sim::EventSink {
  public:
   /// Samples `system` every `interval` (Newtonian) once started; samples
   /// taken at or after `steady_after` also feed the steady-state maxima.
@@ -54,12 +60,18 @@ class SkewProbe {
 
   bool has_steady_samples() const { return steady_samples_ > 0; }
 
+  /// EventSink: the periodic kProbe tick.
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
+
  private:
   void sample_once();
 
   core::FtGcsSystem& system_;
   sim::Duration interval_;
   sim::Time steady_after_;
+  sim::SinkId self_ = sim::kInvalidSink;
+  core::SystemColumns columns_;  ///< reused; probing allocates nothing
   std::vector<SkewSample> samples_;
   SkewSample steady_max_;
   SkewSample overall_max_;

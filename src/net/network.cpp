@@ -7,18 +7,56 @@
 
 namespace ftgcs::net {
 
+namespace {
+
+/// Adapts the legacy std::function handler onto the typed sink interface.
+class FunctionSink final : public PulseSink {
+ public:
+  explicit FunctionSink(Network::Handler handler)
+      : handler_(std::move(handler)) {}
+  void on_pulse(const Pulse& pulse, sim::Time now) override {
+    handler_(pulse, now);
+  }
+
+ private:
+  Network::Handler handler_;
+};
+
+class NullSink final : public PulseSink {
+ public:
+  void on_pulse(const Pulse&, sim::Time) override {}
+};
+
+NullSink null_sink;
+
+sim::EventPayload encode(const Pulse& pulse, int dest) {
+  sim::EventPayload payload;
+  payload.a = pulse.sender;
+  payload.b = pulse.level;
+  payload.c = dest;
+  payload.d = static_cast<std::uint32_t>(pulse.kind);
+  payload.x = pulse.value;
+  return payload;
+}
+
+}  // namespace
+
 Network::Network(sim::Simulator& simulator,
                  std::vector<std::vector<int>> adjacency,
                  std::unique_ptr<DelayModel> delays, sim::Rng rng)
     : sim_(simulator),
       adjacency_(std::move(adjacency)),
       delays_(std::move(delays)),
-      handlers_(adjacency_.size()) {
+      sinks_(adjacency_.size(), nullptr) {
   FTGCS_EXPECTS(delays_ != nullptr);
+  uniform_channel_ = dynamic_cast<const UniformDelay*>(delays_.get()) != nullptr;
+  self_ = simulator.register_sink(this);
   edge_streams_.reserve(adjacency_.size());
   loopback_streams_.reserve(adjacency_.size());
+  std::size_t max_degree = 0;
   std::uint64_t salt = 0;
   for (const auto& neighbors : adjacency_) {
+    max_degree = std::max(max_degree, neighbors.size());
     std::vector<sim::Rng> streams;
     streams.reserve(neighbors.size());
     for (std::size_t j = 0; j < neighbors.size(); ++j) {
@@ -27,12 +65,23 @@ Network::Network(sim::Simulator& simulator,
     edge_streams_.push_back(std::move(streams));
     loopback_streams_.push_back(rng.fork(++salt));
   }
+  group_delays_.reserve(max_degree + 1);  // broadcast batch never allocates
+}
+
+void Network::register_handler(int node, PulseSink* sink) {
+  FTGCS_EXPECTS(node >= 0 && node < num_nodes());
+  FTGCS_EXPECTS(sink != nullptr);
+  sinks_[node] = sink;
 }
 
 void Network::register_handler(int node, Handler handler) {
-  FTGCS_EXPECTS(node >= 0 && node < num_nodes());
   FTGCS_EXPECTS(handler != nullptr);
-  handlers_[node] = std::move(handler);
+  owned_sinks_.push_back(std::make_unique<FunctionSink>(std::move(handler)));
+  register_handler(node, owned_sinks_.back().get());
+}
+
+void Network::register_null_handler(int node) {
+  register_handler(node, &null_sink);
 }
 
 const std::vector<int>& Network::neighbors(int node) const {
@@ -46,42 +95,67 @@ bool Network::are_neighbors(int a, int b) const {
 }
 
 sim::Rng& Network::edge_rng(int from, int to) {
-  if (from == to) return loopback_streams_[from];
-  const auto& nb = adjacency_[from];
+  if (from == to) return loopback_streams_[static_cast<std::size_t>(from)];
+  const auto& nb = adjacency_[static_cast<std::size_t>(from)];
   const auto it = std::find(nb.begin(), nb.end(), to);
   FTGCS_EXPECTS(it != nb.end());
-  return edge_streams_[from][static_cast<std::size_t>(it - nb.begin())];
+  return edge_streams_[static_cast<std::size_t>(from)]
+                      [static_cast<std::size_t>(it - nb.begin())];
 }
 
 void Network::deliver(int from, int to, const Pulse& pulse,
                       sim::Duration delay) {
   (void)from;
+  FTGCS_EXPECTS(to >= 0 && to < num_nodes());
   FTGCS_EXPECTS(delay >= delays_->min_delay() - sim::kTimeEps &&
                 delay <= delays_->max_delay() + sim::kTimeEps);
   ++messages_sent_;
-  sim_.after(delay, [this, to, pulse] {
-    ++messages_delivered_;
-    FTGCS_ASSERT(handlers_[to] != nullptr);
-    handlers_[to](pulse, sim_.now());
-  });
+  sim_.post_after(delay, sim::EventKind::kPulse, self_, encode(pulse, to));
+}
+
+void Network::on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                       sim::Time now) {
+  FTGCS_ASSERT(kind == sim::EventKind::kPulse);
+  ++messages_delivered_;
+  Pulse pulse;
+  pulse.sender = payload.a;
+  pulse.level = payload.b;
+  pulse.kind = static_cast<PulseKind>(payload.d);
+  pulse.value = payload.x;
+  PulseSink* sink = sinks_[static_cast<std::size_t>(payload.c)];
+  FTGCS_ASSERT(sink != nullptr);
+  sink->on_pulse(pulse, now);
 }
 
 void Network::broadcast(int from, const Pulse& pulse) {
   FTGCS_EXPECTS(from >= 0 && from < num_nodes());
   FTGCS_EXPECTS(pulse.sender == from);
-  deliver(from, from, pulse, delays_->sample(from, from, edge_rng(from, from)));
-  for (int to : adjacency_[from]) {
-    deliver(from, to, pulse, delays_->sample(from, to, edge_rng(from, to)));
+  const auto& neighbors = adjacency_[static_cast<std::size_t>(from)];
+  // One delivery group: pre-sample every arrival offset (loopback first,
+  // then neighbors in adjacency order — the draw order each per-edge
+  // stream observes is unchanged), then schedule the batch.
+  group_delays_.clear();
+  group_delays_.push_back(sample_delay(from, from, edge_rng(from, from)));
+  for (int to : neighbors) {
+    group_delays_.push_back(sample_delay(from, to, edge_rng(from, to)));
+  }
+  deliver(from, from, pulse, group_delays_[0]);
+  for (std::size_t j = 0; j < neighbors.size(); ++j) {
+    deliver(from, neighbors[j], pulse, group_delays_[j + 1]);
   }
 }
 
 void Network::unicast(int from, int to, const Pulse& pulse) {
+  FTGCS_EXPECTS(from >= 0 && from < num_nodes());
+  FTGCS_EXPECTS(to >= 0 && to < num_nodes());
   FTGCS_EXPECTS(from == to || are_neighbors(from, to));
-  deliver(from, to, pulse, delays_->sample(from, to, edge_rng(from, to)));
+  deliver(from, to, pulse, sample_delay(from, to, edge_rng(from, to)));
 }
 
 void Network::unicast_with_delay(int from, int to, const Pulse& pulse,
                                  sim::Duration delay) {
+  FTGCS_EXPECTS(from >= 0 && from < num_nodes());
+  FTGCS_EXPECTS(to >= 0 && to < num_nodes());
   FTGCS_EXPECTS(from == to || are_neighbors(from, to));
   deliver(from, to, pulse, delay);
 }

@@ -11,10 +11,20 @@
 // still bounds transit time; a Byzantine node controls *when* it sends,
 // which composes with delay choice to arbitrary arrival times — we expose
 // arrival-time control directly for convenience of attack strategies).
+//
+// Delivery rides the typed event engine: the network registers one
+// EventSink with the simulator, every in-flight message is one EventKind::
+// kPulse event whose POD payload encodes (sender, kind, level, value, dest),
+// and a broadcast is batched — all per-edge delays pre-sampled into one
+// reused buffer, then the delivery group is scheduled back-to-back. No
+// allocation per message, O(1) cancellation semantics inherited from the
+// engine, and the per-stream RNG draw order is identical to sampling one
+// edge at a time (each directed edge owns its stream).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "net/channel.h"
@@ -40,8 +50,19 @@ struct Pulse {
   double value = 0.0;  ///< kShare payload
 };
 
-class Network {
+/// Typed receive interface of one node. Protocol node classes implement
+/// this directly; the network dispatches deliveries through a stable
+/// per-node pointer — no per-registration closure.
+class PulseSink {
  public:
+  virtual ~PulseSink() = default;
+  virtual void on_pulse(const Pulse& pulse, sim::Time now) = 0;
+};
+
+class Network final : public sim::EventSink {
+ public:
+  /// Legacy closure handler; adapted onto PulseSink (cold path, used by
+  /// tests and the simpler baselines).
   using Handler = std::function<void(const Pulse&, sim::Time)>;
 
   /// `adjacency[v]` lists v's neighbors (no self-loops). The network adds
@@ -52,11 +73,18 @@ class Network {
 
   int num_nodes() const { return static_cast<int>(adjacency_.size()); }
 
-  /// Installs the receive handler for `node`. Must be set before any
-  /// message can be delivered to it.
+  /// Installs the receive sink for `node`. Must be set before any message
+  /// can be delivered to it. The sink must outlive the network.
+  void register_handler(int node, PulseSink* sink);
+
+  /// Legacy overload: wraps `handler` in an owned adapter sink.
   void register_handler(int node, Handler handler);
 
-  /// Correct-node broadcast: delivers to all neighbors and to self.
+  /// Installs a sink that discards deliveries (crashed/faulty-silent ids).
+  void register_null_handler(int node);
+
+  /// Correct-node broadcast: delivers to all neighbors and to self. The
+  /// delivery group is pre-sampled as one batch.
   void broadcast(int from, const Pulse& pulse);
 
   /// Point-to-point send with channel-sampled delay. `to` must be a
@@ -76,18 +104,37 @@ class Network {
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_delivered() const { return messages_delivered_; }
 
+  /// EventSink: one kPulse event per in-flight message.
+  void on_event(sim::EventKind kind, const sim::EventPayload& payload,
+                sim::Time now) override;
+
  private:
   void deliver(int from, int to, const Pulse& pulse, sim::Duration delay);
   sim::Rng& edge_rng(int from, int to);
 
+  sim::Duration sample_delay(int from, int to, sim::Rng& rng) const {
+    // Devirtualized fast path for the default uniform channel: same draw,
+    // same stream, no indirect call per edge.
+    if (uniform_channel_) {
+      return rng.uniform(delays_->min_delay(), delays_->max_delay());
+    }
+    return delays_->sample(from, to, rng);
+  }
+
   sim::Simulator& sim_;
+  sim::SinkId self_ = sim::kInvalidSink;
   std::vector<std::vector<int>> adjacency_;
   std::unique_ptr<DelayModel> delays_;
-  std::vector<Handler> handlers_;
+  bool uniform_channel_ = false;
+  std::vector<PulseSink*> sinks_;
+  std::vector<std::unique_ptr<PulseSink>> owned_sinks_;  // legacy adapters
   // One stream per directed edge, keyed densely: edge_streams_[from] maps
   // position-in-adjacency-list -> Rng; loopback stream is separate.
   std::vector<std::vector<sim::Rng>> edge_streams_;
   std::vector<sim::Rng> loopback_streams_;
+  /// Reused broadcast batch buffer (pre-sampled per-edge arrival offsets);
+  /// sized to max degree + 1 at construction so broadcast never allocates.
+  std::vector<sim::Duration> group_delays_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
 };

@@ -1,0 +1,63 @@
+// Typed event vocabulary for the zero-allocation event engine.
+//
+// The hot paths of the simulation — pulse deliveries, logical-timer fires,
+// drift steps, metric probes — are all "small data + known receiver". The
+// engine therefore dispatches a tagged union instead of type-erased
+// closures: an event carries an EventKind, the index of a registered
+// EventSink, and a fixed-size POD payload the sink interprets. Nothing on
+// this path allocates, and cancellation is a generation-stamp bump on the
+// event's pool slot (see event_queue.h).
+//
+// The legacy `std::function<void()>` path still exists (EventKind::kClosure)
+// for cold one-shot scheduling (fault injection, edge toggles, tests).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time_types.h"
+
+namespace ftgcs::sim {
+
+/// Tag of a typed event. The engine never interprets the payload — the tag
+/// exists so one sink can multiplex several event families (and so traces
+/// and debuggers can tell events apart without knowing the receiver).
+enum class EventKind : std::uint8_t {
+  kClosure = 0,  ///< legacy path: the slot's std::function runs
+  kPulse,        ///< network message delivery (net/Network)
+  kTimer,        ///< logical-timer fire (clocks/LogicalTimerSet & friends)
+  kDrift,        ///< hardware-drift step (clocks/DriftModel)
+  kProbe,        ///< periodic measurement (metrics/SkewProbe)
+};
+
+/// Fixed-size POD payload of a typed event. Fields are generic words; the
+/// (kind, sink) pair defines the schema. Conventions used in this codebase:
+///   kPulse: a=sender, b=level, c=dest node, d=PulseKind, x=value
+///   kTimer: a=key/round, x=auxiliary value
+///   kDrift: a=script index / phase flag
+///   kProbe: unused
+struct EventPayload {
+  std::int32_t a = 0;
+  std::int32_t b = 0;
+  std::int32_t c = 0;
+  std::uint32_t d = 0;
+  double x = 0.0;
+};
+
+/// Stable index of a registered EventSink (see Simulator::register_sink).
+using SinkId = std::uint32_t;
+
+inline constexpr SinkId kInvalidSink = 0xffffffffu;
+
+/// Receiver of typed events. Components register once (getting a stable
+/// SinkId) and receive every typed event addressed to them through this
+/// interface — no per-event closure, no allocation.
+class EventSink {
+ public:
+  virtual void on_event(EventKind kind, const EventPayload& payload,
+                        Time now) = 0;
+
+ protected:
+  ~EventSink() = default;  // never deleted through the interface
+};
+
+}  // namespace ftgcs::sim

@@ -2,42 +2,95 @@
 
 #include <utility>
 
-#include "support/assert.h"
-
 namespace ftgcs::sim {
+
+void EventQueue::reserve(std::size_t capacity) {
+  slots_.reserve(capacity);
+  fns_.reserve(capacity);
+  positions_.reserve(capacity);
+  free_.reserve(capacity);
+  heap_.reserve(capacity);
+}
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  fns_.emplace_back();
+  positions_.push_back(0);
+  FTGCS_ASSERT(slots_.size() < (std::size_t{1} << kSlotBits));
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+bool EventQueue::decode_live(EventId id, std::uint32_t& slot) const {
+  if (!id) return false;
+  slot = static_cast<std::uint32_t>(id.value >> 32) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value);
+  return slot < slots_.size() && slots_[slot].gen == gen;
+}
+
+EventId EventQueue::push_entry(Time t, std::uint32_t slot) {
+  const std::uint64_t seq = next_seq_++;
+  FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
+  const HeapEntry entry{t, seq << kSlotBits | slot};
+  heap_.emplace_back();  // grow; sift places the entry into the hole chain
+  place(entry, sift_up(entry, heap_.size() - 1));
+  return EventId{(static_cast<std::uint64_t>(slot) + 1) << 32 |
+                 slots_[slot].gen};
+}
 
 EventId EventQueue::schedule(Time t, Callback fn) {
   FTGCS_EXPECTS(fn != nullptr);
-  const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{t, seq});
-  live_.emplace(seq, std::move(fn));
-  return EventId{seq};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.kind = EventKind::kClosure;
+  s.sink = kInvalidSink;
+  fns_[slot] = std::move(fn);
+  return push_entry(t, slot);
+}
+
+EventId EventQueue::schedule_typed(Time t, EventKind kind, SinkId sink,
+                                   const EventPayload& payload) {
+  FTGCS_EXPECTS(kind != EventKind::kClosure);
+  FTGCS_EXPECTS(sink != kInvalidSink);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.kind = kind;
+  s.sink = sink;
+  s.payload = payload;
+  return push_entry(t, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  return live_.erase(id.value) > 0;  // heap entry skipped lazily on pop
+  std::uint32_t slot;
+  if (!decode_live(id, slot)) return false;
+  remove_at(positions_[slot]);
+  bump_generation(slot);
+  if (slots_[slot].kind == EventKind::kClosure) fns_[slot] = nullptr;
+  free_.push_back(slot);
+  return true;
 }
 
-void EventQueue::drop_dead_heads() const {
-  while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end()) {
-    heap_.pop();
-  }
-}
-
-Time EventQueue::next_time() const {
-  drop_dead_heads();
-  return heap_.empty() ? kTimeInfinity : heap_.top().at;
+bool EventQueue::reschedule(EventId id, Time t) {
+  std::uint32_t slot;
+  if (!decode_live(id, slot)) return false;
+  // Fresh sequence number: ties at the new time fire after everything
+  // already scheduled there, exactly as a cancel + schedule would.
+  const std::uint64_t seq = next_seq_++;
+  FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
+  sift(HeapEntry{t, seq << kSlotBits | slot}, positions_[slot]);
+  return true;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_dead_heads();
   FTGCS_EXPECTS(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = live_.find(top.seq);
-  FTGCS_ASSERT(it != live_.end());
-  Fired fired{top.at, EventId{top.seq}, std::move(it->second)};
-  live_.erase(it);
+  const HeapEntry head = heap_[0];
+  remove_at(0);
+  Fired fired;
+  fill_fired(head, fired);
   return fired;
 }
 

@@ -16,20 +16,52 @@ EventId Simulator::after(Duration dt, Callback fn) {
   return queue_.schedule(now_ + dt, std::move(fn));
 }
 
+SinkId Simulator::register_sink(EventSink* sink) {
+  FTGCS_EXPECTS(sink != nullptr);
+  sinks_.push_back(sink);
+  return static_cast<SinkId>(sinks_.size() - 1);
+}
+
+EventId Simulator::post_at(Time t, EventKind kind, SinkId sink,
+                           const EventPayload& payload) {
+  FTGCS_EXPECTS(t >= now_);
+  FTGCS_EXPECTS(sink < sinks_.size());
+  return queue_.schedule_typed(t, kind, sink, payload);
+}
+
+EventId Simulator::post_after(Duration dt, EventKind kind, SinkId sink,
+                              const EventPayload& payload) {
+  FTGCS_EXPECTS(dt >= 0.0);
+  FTGCS_EXPECTS(sink < sinks_.size());
+  return queue_.schedule_typed(now_ + dt, kind, sink, payload);
+}
+
+void Simulator::dispatch(EventQueue::Fired& fired) {
+  if (fired.kind == EventKind::kClosure) {
+    fired.fn();
+  } else {
+    sinks_[fired.sink]->on_event(fired.kind, fired.payload, now_);
+  }
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
   FTGCS_ASSERT(fired.at >= now_);
   now_ = fired.at;
   ++fired_;
-  fired.fn();
+  dispatch(fired);
   return true;
 }
 
 void Simulator::run_until(Time t_end) {
   FTGCS_EXPECTS(t_end >= now_);
-  while (!queue_.empty() && queue_.next_time() <= t_end) {
-    step();
+  EventQueue::Fired fired;
+  while (queue_.pop_if_at_most(t_end, fired)) {
+    FTGCS_ASSERT(fired.at >= now_);
+    now_ = fired.at;
+    ++fired_;
+    dispatch(fired);
   }
   now_ = t_end;
 }

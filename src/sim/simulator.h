@@ -1,15 +1,24 @@
 // Single-threaded discrete-event simulator facade.
 //
 // Owns the virtual clock and the event queue. Protocol components schedule
-// callbacks at absolute Newtonian times; the simulator advances time to the
-// next event and fires it. Time never flows backwards and events scheduled
-// in the past are rejected (contract violation), which catches clock
-// inversion bugs early.
+// work at absolute Newtonian times; the simulator advances time to the next
+// event and fires it. Time never flows backwards and events scheduled in
+// the past are rejected (contract violation), which catches clock inversion
+// bugs early.
+//
+// Two scheduling paths exist:
+//   * typed  — register_sink() once, then post_at()/post_after() with an
+//     EventKind + POD payload; dispatch is an indexed virtual call and the
+//     whole path is allocation-free (the hot path: pulses, timers, drift).
+//   * closure — at()/after() with a std::function, for cold one-shot work
+//     (fault injection, topology toggles, tests).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
+#include "sim/event.h"
 #include "sim/event_queue.h"
 #include "sim/time_types.h"
 
@@ -28,8 +37,29 @@ class Simulator {
   /// Schedules `fn` after a non-negative delay.
   EventId after(Duration dt, Callback fn);
 
+  /// Registers a typed-event receiver; the returned id is stable for the
+  /// simulator's lifetime. The sink must outlive the simulator (sinks are
+  /// the long-lived protocol components).
+  SinkId register_sink(EventSink* sink);
+
+  /// Schedules a typed event at absolute time `t >= now()`.
+  EventId post_at(Time t, EventKind kind, SinkId sink,
+                  const EventPayload& payload);
+
+  /// Schedules a typed event after a non-negative delay.
+  EventId post_after(Duration dt, EventKind kind, SinkId sink,
+                     const EventPayload& payload);
+
   /// Cancels a pending event; no-op if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Moves a pending event to `t >= now()` under a fresh FIFO sequence —
+  /// observably identical to cancel + re-post, but one in-place heap move.
+  /// Returns false if the event already fired or was cancelled.
+  bool reschedule(EventId id, Time t) {
+    FTGCS_EXPECTS(t >= now_);
+    return queue_.reschedule(id, t);
+  }
 
   /// Runs events until the queue empties or the next event is later than
   /// `t_end`; afterwards now() == min(t_end, last event time fired) and is
@@ -42,12 +72,18 @@ class Simulator {
   /// True if no pending events remain.
   bool idle() const { return queue_.empty(); }
 
+  /// Pre-sizes the event pool (see EventQueue::reserve).
+  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t fired_events() const { return fired_; }
   std::uint64_t scheduled_events() const { return queue_.scheduled_count(); }
 
  private:
+  void dispatch(EventQueue::Fired& fired);
+
   EventQueue queue_;
+  std::vector<EventSink*> sinks_;
   Time now_ = kTimeZero;
   std::uint64_t fired_ = 0;
 };

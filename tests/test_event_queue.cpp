@@ -75,6 +75,97 @@ TEST(EventQueue, PopReturnsTimeAndId) {
   EXPECT_EQ(fired.id, id);
 }
 
+TEST(EventQueue, CancelAfterFireIsNoOp) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [] {});
+  q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  // The id is spent; cancelling it must not touch the remaining event.
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, SlotReuseInvalidatesOldIds) {
+  // ABA guard: after an event fires, its pool slot is recycled; a handle
+  // from the old generation must neither cancel nor alias the new event.
+  EventQueue q;
+  const EventId old_id = q.schedule(1.0, [] {});
+  q.pop();
+  EXPECT_TRUE(q.empty());
+
+  bool second_fired = false;
+  const EventId new_id = q.schedule(2.0, [&] { second_fired = true; });
+  // The pool recycled the slot (same index), so the ids share the slot
+  // half but differ in generation.
+  EXPECT_EQ(old_id.value >> 32, new_id.value >> 32);
+  EXPECT_NE(old_id.value, new_id.value);
+  EXPECT_FALSE(q.cancel(old_id));  // stale generation: rejected
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, TypedEventsCarryPayloadAndFifoOrder) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) {
+    EventPayload payload;
+    payload.a = i;
+    payload.x = 0.5 * i;
+    q.schedule_typed(3.0, EventKind::kPulse, 7, payload);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto fired = q.pop();
+    EXPECT_EQ(fired.kind, EventKind::kPulse);
+    EXPECT_EQ(fired.sink, 7u);
+    EXPECT_EQ(fired.payload.a, i);  // equal times: scheduling order
+    EXPECT_DOUBLE_EQ(fired.payload.x, 0.5 * i);
+    EXPECT_FALSE(fired.fn);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleMatchesCancelPlusScheduleOrder) {
+  // A rescheduled event must tie-break as if it had been cancelled and
+  // re-scheduled: after everything already sitting at the target time.
+  EventQueue q;
+  EventPayload payload;
+  payload.a = 1;
+  const EventId moved = q.schedule_typed(9.0, EventKind::kTimer, 0, payload);
+  payload.a = 2;
+  q.schedule_typed(5.0, EventKind::kTimer, 0, payload);
+  EXPECT_TRUE(q.reschedule(moved, 5.0));
+  EXPECT_EQ(q.pop().payload.a, 2);  // was at 5.0 first
+  EXPECT_EQ(q.pop().payload.a, 1);  // the moved event fires after
+}
+
+TEST(EventQueue, RescheduleOfDeadIdFails) {
+  EventQueue q;
+  const EventId id = q.schedule_typed(1.0, EventKind::kTimer, 0, {});
+  q.pop();
+  EXPECT_FALSE(q.reschedule(id, 2.0));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TypedPathDoesNotAllocateAfterWarmup) {
+  // Steady-state schedule/fire cycles must reuse pooled slots: the pool
+  // high-water mark stays at the warm-up size.
+  EventQueue q;
+  for (int i = 0; i < 64; ++i) {
+    q.schedule_typed(static_cast<Time>(i), EventKind::kPulse, 0, {});
+  }
+  const std::size_t warm = q.pool_size();
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 32; ++i) q.pop();
+    for (int i = 0; i < 32; ++i) {
+      q.schedule_typed(1000.0 + round, EventKind::kPulse, 0, {});
+    }
+  }
+  EXPECT_EQ(q.pool_size(), warm);
+}
+
 TEST(EventQueue, InterleavedScheduleCancelStress) {
   EventQueue q;
   std::vector<EventId> ids;

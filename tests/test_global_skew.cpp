@@ -94,6 +94,44 @@ TEST(MaxEstimator, JumpEmitsSkippedLevels) {
   for (int i = 0; i < 5; ++i) EXPECT_EQ(emitted[i], i + 1);
 }
 
+TEST(MaxEstimator, ForgedHugeLevelsAreCheapAndQuorumStillWorks) {
+  // A Byzantine node may broadcast kMaxLevel pulses with arbitrary levels;
+  // counting them must not cost memory proportional to the level value,
+  // and an (impossible-for-correct-nodes) singleton never forms a quorum.
+  sim::Simulator sim;
+  MaxEstimator m(sim, unit_config(), 1.0);
+  m.on_emit = [](int) {};
+  m.start();
+  m.on_level_pulse(7, 0, false, 1000000000, 0.0);
+  m.on_level_pulse(7, 0, false, 999999999, 0.0);
+  // Forged levels below the first emittable level (1) are dropped outright.
+  m.on_level_pulse(7, 0, false, 0, 0.0);
+  m.on_level_pulse(7, 1, false, 0, 0.0);
+  EXPECT_NEAR(m.read(0.0), 0.0, 1e-12);
+  // A full quorum at a forged far-future level still jumps (the rule only
+  // needs f+1 distinct members), exactly as with the sparse-map storage.
+  m.on_level_pulse(7, 1, false, 1000000000, 0.0);
+  EXPECT_NEAR(m.read(0.0), 1000000001.0 * 0.8, 1e-3);
+  EXPECT_EQ(m.jumps(), 1u);
+}
+
+TEST(MaxEstimator, QuorumAcrossManyMembersBeyondSixtyFour) {
+  // Clusters larger than 64 members (f >= 22, k = 3f+1) must still count
+  // distinct members correctly across bitmask words.
+  sim::Simulator sim;
+  MaxEstimator::Config cfg = unit_config();
+  cfg.f = 22;  // quorum 23, k = 67
+  MaxEstimator m(sim, cfg, 1.0);
+  m.on_emit = [](int) {};
+  m.start();
+  for (int member = 44; member < 66; ++member) {
+    m.on_level_pulse(3, member, false, 5, 0.0);  // 22 distinct: no quorum
+  }
+  EXPECT_NEAR(m.read(0.0), 0.0, 1e-12);
+  m.on_level_pulse(3, 66, false, 5, 0.0);  // 23rd distinct member
+  EXPECT_NEAR(m.read(0.0), 4.8, 1e-12);
+}
+
 TEST(MaxEstimator, JumpsAreMonotone) {
   sim::Simulator sim;
   MaxEstimator m(sim, unit_config(), 1.0);
