@@ -14,7 +14,11 @@
 //   --per-seed          one row per (point, seed)
 //   --timing            append wall_ms / events_per_sec columns (wall-clock
 //                       measurements; off by default so output stays
-//                       machine-independent)
+//                       machine-independent) and a queue-tier footer
+//                       (buckets / rung spawns / overflow peak)
+//   --engine KIND       event-engine backend: heap | ladder (default:
+//                       ladder; tables are bit-identical either way, so
+//                       this is a pure A/B throughput toggle)
 //   --quiet             table only, no banner
 #include <cstdio>
 #include <cstdlib>
@@ -38,7 +42,7 @@ using namespace ftgcs;
                "usage: ftgcs_bench <list | run <scenario> | sweep "
                "<scenario>> [--threads N] [--sink table|csv|jsonl] "
                "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
-               "[--per-seed] [--timing] [--quiet]\n");
+               "[--per-seed] [--timing] [--engine heap|ladder] [--quiet]\n");
   std::exit(code);
 }
 
@@ -175,6 +179,8 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
       spec.aggregation = exp::SeedAggregation::kWorstOverSeeds;
     } else if (arg == "--per-seed") {
       spec.aggregation = exp::SeedAggregation::kPerSeed;
+    } else if (arg == "--engine") {
+      spec.engine = exp::parse_queue_backend(next());
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--timing") {
@@ -204,6 +210,11 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
                   "events/sec/thread aggregate\n",
                   result.total_events, result.total_wall_ms,
                   result.total_events / result.total_wall_ms / 1000.0);
+      std::printf("queue[%s]: buckets=%.0f rung_spawns=%.0f "
+                  "overflow_peak=%.0f reseeds=%.0f\n",
+                  sim::queue_backend_name(spec.engine),
+                  result.queue.max_bucket_count, result.queue.rung_spawns,
+                  result.queue.max_overflow_peak, result.queue.reseeds);
     }
   }
   return 0;

@@ -1,6 +1,19 @@
 // M1 — microbenchmarks of the simulation substrate and the protocol hot
 // paths (google-benchmark).
+//
+// Every queue benchmark has a heap and a ladder variant so
+// BENCH_kernel.json pins both backends' curves per commit. The custom
+// main() refuses to publish JSON when the google-benchmark library itself
+// was built without NDEBUG ("library_build_type": "debug"): numbers from a
+// debug benchmark runtime must never become the committed baseline (use
+// -DFTGCS_BENCHMARK_SOURCE_DIR or -DFTGCS_BUNDLED_BENCHMARK to get a
+// genuinely Release-built dependency; see CMakeLists.txt).
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "byz/fault_plan.h"
 #include "core/ftgcs_system.h"
@@ -14,10 +27,12 @@ namespace {
 
 using namespace ftgcs;
 
-void BM_EventQueueScheduleFire(benchmark::State& state) {
+// ---- event-queue kernels, one body per workload, run on both backends ------
+
+void QueueScheduleFire(benchmark::State& state, sim::QueueBackend backend) {
   sim::Rng rng(1);
   for (auto _ : state) {
-    sim::EventQueue queue;
+    sim::EventQueue queue(backend);
     for (int i = 0; i < 1000; ++i) {
       queue.schedule(rng.next_double(), [] {});
     }
@@ -27,12 +42,19 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  QueueScheduleFire(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_EventQueueScheduleFire);
+void BM_EventQueueScheduleFireLadder(benchmark::State& state) {
+  QueueScheduleFire(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventQueueScheduleFireLadder);
 
-void BM_EventQueueCancelHeavy(benchmark::State& state) {
+void QueueCancelHeavy(benchmark::State& state, sim::QueueBackend backend) {
   sim::Rng rng(2);
   for (auto _ : state) {
-    sim::EventQueue queue;
+    sim::EventQueue queue(backend);
     std::vector<sim::EventId> ids;
     ids.reserve(1000);
     for (int i = 0; i < 1000; ++i) {
@@ -47,19 +69,26 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  QueueCancelHeavy(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_EventQueueCancelHeavy);
+void BM_EventQueueCancelHeavyLadder(benchmark::State& state) {
+  QueueCancelHeavy(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventQueueCancelHeavyLadder);
 
 // The typed path is what the protocol stack actually runs on (pulses,
 // timers, drift, probes): POD payload, slot pool, no closures, no
 // allocation after warm-up. Counters are events/sec.
 
-void BM_EventEngineTypedScheduleFire(benchmark::State& state) {
+void TypedScheduleFire(benchmark::State& state, sim::QueueBackend backend) {
   sim::Rng rng(6);
   struct Sink final : sim::EventSink {
     void on_event(sim::EventKind, const sim::EventPayload&,
                   sim::Time) override {}
   } sink;
-  sim::EventQueue queue;
+  sim::EventQueue queue(backend);
   queue.reserve(1000);
   std::uint64_t events = 0;
   for (auto _ : state) {
@@ -76,11 +105,48 @@ void BM_EventEngineTypedScheduleFire(benchmark::State& state) {
   state.counters["events"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
+void BM_EventEngineTypedScheduleFire(benchmark::State& state) {
+  TypedScheduleFire(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_EventEngineTypedScheduleFire);
+void BM_EventEngineTypedScheduleFireLadder(benchmark::State& state) {
+  TypedScheduleFire(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventEngineTypedScheduleFireLadder);
 
-void BM_EventEngineTypedCancelHeavy(benchmark::State& state) {
+// The fire-only path carries all network deliveries: payload inline in the
+// queue on the ladder backend, no slot pool at all.
+void FireOnlyScheduleFire(benchmark::State& state, sim::QueueBackend backend) {
+  sim::Rng rng(9);
+  sim::EventQueue queue(backend);
+  queue.reserve(1000);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      queue.schedule_fire_only(rng.next_double(), sim::EventKind::kPulse, 0,
+                               {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.pop().payload.a);
+    }
+    events += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+void BM_EventEngineFireOnly(benchmark::State& state) {
+  FireOnlyScheduleFire(state, sim::QueueBackend::kHeap);
+}
+BENCHMARK(BM_EventEngineFireOnly);
+void BM_EventEngineFireOnlyLadder(benchmark::State& state) {
+  FireOnlyScheduleFire(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventEngineFireOnlyLadder);
+
+void TypedCancelHeavy(benchmark::State& state, sim::QueueBackend backend) {
   sim::Rng rng(7);
-  sim::EventQueue queue;
+  sim::EventQueue queue(backend);
   queue.reserve(1000);
   std::uint64_t events = 0;
   std::vector<sim::EventId> ids;
@@ -103,13 +169,20 @@ void BM_EventEngineTypedCancelHeavy(benchmark::State& state) {
   state.counters["events"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
+void BM_EventEngineTypedCancelHeavy(benchmark::State& state) {
+  TypedCancelHeavy(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_EventEngineTypedCancelHeavy);
+void BM_EventEngineTypedCancelHeavyLadder(benchmark::State& state) {
+  TypedCancelHeavy(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventEngineTypedCancelHeavyLadder);
 
-void BM_EventEngineReschedule(benchmark::State& state) {
+void Reschedule(benchmark::State& state, sim::QueueBackend backend) {
   // The logical-timer re-aim pattern: a standing population of timers
   // whose fire times move on every clock-rate change.
   sim::Rng rng(8);
-  sim::EventQueue queue;
+  sim::EventQueue queue(backend);
   queue.reserve(256);
   std::vector<sim::EventId> ids;
   for (int i = 0; i < 256; ++i) {
@@ -123,7 +196,56 @@ void BM_EventEngineReschedule(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 256);
 }
+void BM_EventEngineReschedule(benchmark::State& state) {
+  Reschedule(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_EventEngineReschedule);
+void BM_EventEngineRescheduleLadder(benchmark::State& state) {
+  Reschedule(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventEngineRescheduleLadder);
+
+// The 40k-node regime in miniature: a deep standing population (range(0)
+// in-flight events) with steady schedule-ahead/pop cycles. This is where
+// heap pop depth collapses and the calendar window stays O(1) — the pair
+// of curves in BENCH_kernel.json pins the crossover.
+void DeepPopulation(benchmark::State& state, sim::QueueBackend backend) {
+  const int population = static_cast<int>(state.range(0));
+  sim::Rng rng(11);
+  sim::EventQueue queue(backend);
+  queue.reserve(static_cast<std::size_t>(population));
+  double now = 0.0;
+  for (int i = 0; i < population; ++i) {
+    queue.schedule_fire_only(now + rng.next_double(), sim::EventKind::kPulse,
+                             0, {});
+  }
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      auto fired = queue.pop();
+      now = fired.at;
+      queue.schedule_fire_only(now + 0.99 + 0.01 * rng.next_double(),
+                               sim::EventKind::kPulse, 0, {});
+    }
+    events += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+void BM_EventEngineDeepPopulation(benchmark::State& state) {
+  DeepPopulation(state, sim::QueueBackend::kHeap);
+}
+BENCHMARK(BM_EventEngineDeepPopulation)->Arg(4096)->Arg(65536)->Arg(400000);
+void BM_EventEngineDeepPopulationLadder(benchmark::State& state) {
+  DeepPopulation(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_EventEngineDeepPopulationLadder)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->Arg(400000);
+
+// ---- protocol kernels -------------------------------------------------------
 
 void BM_TriggerEvaluation(benchmark::State& state) {
   sim::Rng rng(3);
@@ -155,7 +277,8 @@ void BM_SingleClusterRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SingleClusterRound);
 
-void BM_SystemEventThroughput(benchmark::State& state) {
+void SystemEventThroughput(benchmark::State& state,
+                           sim::QueueBackend backend) {
   const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
   const int clusters = static_cast<int>(state.range(0));
   std::uint64_t events = 0;
@@ -164,6 +287,7 @@ void BM_SystemEventThroughput(benchmark::State& state) {
     core::FtGcsSystem::Config config;
     config.params = params;
     config.seed = 5;
+    config.engine = backend;
     core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
     system.start();
     state.ResumeTiming();
@@ -175,8 +299,65 @@ void BM_SystemEventThroughput(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(events),
                          benchmark::Counter::kIsRate);
 }
+void BM_SystemEventThroughput(benchmark::State& state) {
+  SystemEventThroughput(state, sim::QueueBackend::kHeap);
+}
 BENCHMARK(BM_SystemEventThroughput)->Arg(4)->Arg(16);
+void BM_SystemEventThroughputLadder(benchmark::State& state) {
+  SystemEventThroughput(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_SystemEventThroughputLadder)->Arg(4)->Arg(16);
+
+// ---- main: refuse debug-library JSON ---------------------------------------
+
+/// Extracts the value of --benchmark_out=<path> (or "--benchmark_out
+/// <path>") before google-benchmark consumes argv.
+std::string benchmark_out_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--benchmark_out=", 16) == 0) return arg + 16;
+    if (std::strcmp(arg, "--benchmark_out") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+/// True if the written benchmark output admits it was produced by a
+/// debug-built benchmark library.
+bool reports_debug_library(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  std::string content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+  return content.find("\"library_build_type\": \"debug\"") !=
+         std::string::npos;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string out_path = benchmark_out_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!out_path.empty() && reports_debug_library(out_path)) {
+    std::remove(out_path.c_str());
+    std::fprintf(
+        stderr,
+        "micro_kernel: refusing to publish %s — the benchmark library was "
+        "built without NDEBUG (context.library_build_type == \"debug\"), so "
+        "these numbers must not become a committed baseline. Rebuild the "
+        "dependency in Release (-DFTGCS_BENCHMARK_SOURCE_DIR=<src> or "
+        "-DFTGCS_BUNDLED_BENCHMARK=ON).\n",
+        out_path.c_str());
+    return 1;
+  }
+  return 0;
+}

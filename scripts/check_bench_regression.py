@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI perf guardrail: compare a fresh micro_kernel JSON against the
+committed BENCH_kernel.json baseline and fail on >tolerance throughput
+regressions.
+
+Usage:
+    check_bench_regression.py BASELINE.json NEW.json \
+        [--tolerance 0.25] [--families PREFIX[,PREFIX...]]
+
+For every benchmark family present in both files (matched by run_name,
+preferring the `median` aggregate, falling back to `mean`, then to a
+single iteration run), the script compares the throughput figure —
+items_per_second when present, else the inverse of real_time — and exits
+non-zero if `new < (1 - tolerance) * baseline` for any family in the
+selected set. Families present in only one file are reported but never
+fatal (benchmarks come and go across commits).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """run_name -> (throughput, source_label)."""
+    with open(path) as f:
+        data = json.load(f)
+    by_run = {}
+    for entry in data.get("benchmarks", []):
+        run = entry.get("run_name") or entry.get("name")
+        by_run.setdefault(run, []).append(entry)
+
+    rates = {}
+    for run, entries in by_run.items():
+        chosen = None
+        for want in ("median", "mean"):
+            for entry in entries:
+                if entry.get("aggregate_name") == want:
+                    chosen = entry
+                    break
+            if chosen:
+                break
+        if chosen is None:
+            singles = [e for e in entries if e.get("run_type") != "aggregate"]
+            if singles:
+                chosen = singles[0]
+        if chosen is None:
+            continue
+        if "items_per_second" in chosen:
+            rates[run] = (float(chosen["items_per_second"]), "items/s")
+        elif float(chosen.get("real_time", 0.0)) > 0.0:
+            rates[run] = (1e9 / float(chosen["real_time"]), "1/real_time")
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum allowed fractional slowdown")
+    parser.add_argument("--relative", action="store_true",
+                        help="normalize each family's ratio by the median "
+                             "ratio over all checked families, so a "
+                             "uniformly slower/faster machine (CI runner vs "
+                             "the baseline VM) cancels out and only "
+                             "family-specific regressions fail")
+    parser.add_argument("--families", default="",
+                        help="comma-separated run_name prefixes to check "
+                             "(default: every family present in both files)")
+    args = parser.parse_args()
+
+    baseline = load_rates(args.baseline)
+    fresh = load_rates(args.fresh)
+    prefixes = [p for p in args.families.split(",") if p]
+
+    def selected(run):
+        return not prefixes or any(run.startswith(p) for p in prefixes)
+
+    shared = sorted(set(baseline) & set(fresh))
+    checked = [r for r in shared if selected(r)]
+    if not checked:
+        print("check_bench_regression: no overlapping benchmark families "
+              "matched — nothing to compare", file=sys.stderr)
+        return 2
+
+    ratios = {run: (fresh[run][0] / baseline[run][0]
+                    if baseline[run][0] > 0 else float("inf"))
+              for run in checked}
+    norm = 1.0
+    if args.relative:
+        ordered = sorted(ratios.values())
+        mid = len(ordered) // 2
+        norm = (ordered[mid] if len(ordered) % 2 == 1
+                else 0.5 * (ordered[mid - 1] + ordered[mid]))
+        if norm <= 0:
+            norm = 1.0
+        print(f"median machine-speed ratio: {norm:.2f} "
+              f"(per-family ratios are normalized by it)")
+
+    failures = []
+    print(f"{'benchmark':55s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
+    for run in checked:
+        base, _ = baseline[run]
+        new, _ = fresh[run]
+        ratio = ratios[run] / norm
+        flag = ""
+        if ratio < 1.0 - args.tolerance:
+            failures.append((run, base, new, ratio))
+            flag = "  << REGRESSION"
+        print(f"{run:55s} {base:12.4g} {new:12.4g} {ratio:7.2f}{flag}")
+
+    for run in sorted(set(baseline) - set(fresh)):
+        if selected(run):
+            print(f"note: {run} only in baseline (skipped)")
+    for run in sorted(set(fresh) - set(baseline)):
+        if selected(run):
+            print(f"note: {run} only in fresh run (skipped)")
+
+    if failures:
+        print(f"\n{len(failures)} famil{'y' if len(failures) == 1 else 'ies'} "
+              f"regressed more than {args.tolerance:.0%}:", file=sys.stderr)
+        for run, base, new, ratio in failures:
+            print(f"  {run}: {base:.4g} -> {new:.4g} events/s "
+                  f"({ratio:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"\nall {len(checked)} families within {args.tolerance:.0%} of "
+          f"baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

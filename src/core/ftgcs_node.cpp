@@ -111,9 +111,12 @@ void FtGcsNode::handle_round_start(int round) {
   if (max_estimator_) max_estimator_->observe_own_clock(self, now);
   // Only estimates of currently-active edges are considered by the
   // triggers (all edges active unless the dynamic-topology API is used).
-  std::vector<double> ests;
-  std::vector<double> kappas;
-  std::vector<double> slacks;
+  std::vector<double>& ests = round_ests_;
+  std::vector<double>& kappas = round_kappas_;
+  std::vector<double>& slacks = round_slacks_;
+  ests.clear();
+  kappas.clear();
+  slacks.clear();
   const bool weighted = !edge_kappas_.empty();
   const auto& adjacent = estimates_.clusters();
   ests.reserve(adjacent.size());

@@ -155,6 +155,11 @@ class FtGcsNode final : public net::PulseSink, public sim::EventSink {
   /// Weighted mode (footnote 1): per-edge κ_e / δ_e; empty = uniform.
   std::vector<double> edge_kappas_;
   std::vector<double> edge_slacks_;
+  /// Scratch buffers of handle_round_start (one trigger evaluation per
+  /// round per node — reusing them keeps the round path allocation-free).
+  std::vector<double> round_ests_;
+  std::vector<double> round_kappas_;
+  std::vector<double> round_slacks_;
 };
 
 }  // namespace ftgcs::core

@@ -9,7 +9,8 @@ namespace ftgcs::core {
 
 FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
     : topo_(std::move(cluster_graph), config.params.k),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      sim_(config_.engine) {
   FTGCS_EXPECTS(config_.params.feasible());
   FTGCS_EXPECTS(config_.fault_plan.max_faults_per_cluster(topo_) <=
                 topo_.cluster_size());

@@ -102,6 +102,16 @@ struct SampleMaxima {
   double max_m_lag = 0.0;
 };
 
+RunResult::QueueTiers queue_tiers(const sim::Simulator& simulator) {
+  const sim::EventQueue::TierStats& stats = simulator.queue_stats();
+  RunResult::QueueTiers tiers;
+  tiers.bucket_count = static_cast<double>(stats.bucket_count);
+  tiers.rung_spawns = static_cast<double>(stats.rung_spawns);
+  tiers.overflow_peak = static_cast<double>(stats.overflow_peak);
+  tiers.reseeds = static_cast<double>(stats.reseeds);
+  return tiers;
+}
+
 /// Sample times: every probe interval, plus the horizon itself.
 std::vector<double> sample_times(double horizon_rounds, double interval_rounds,
                                  double T) {
@@ -122,6 +132,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
   core::FtGcsSystem::Config config;
   config.params = params;
   config.seed = run.seed;
+  config.engine = run.engine;
   config.replicas_know_offsets = run.replicas_know_offsets;
   config.drift_model =
       build_drift(run.drift, params, clusters, params.k, run.seed);
@@ -249,6 +260,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
   m.emplace_back("events",
                  static_cast<double>(system.simulator().fired_events()));
   if (run.measure_m_lag) m.emplace_back("max_m_lag", agg.max_m_lag);
+  result.queue = queue_tiers(system.simulator());
   return result;
 }
 
@@ -257,6 +269,7 @@ RunResult run_gcs_baseline(const ResolvedRun& run) {
   const int diameter = run.graph.diameter();
 
   gcs::GcsSystem::Config config;
+  config.engine = run.engine;
   const double mu = run.baseline_mu > 0.0 ? run.baseline_mu : 0.05;
   config.params = gcs::GcsParams::derive(run.params.rho, run.params.d,
                                          run.params.U, mu, run.params.d);
@@ -300,6 +313,7 @@ RunResult run_gcs_baseline(const ResolvedRun& run) {
   m.emplace_back("final_global", agg.final_global);
   m.emplace_back("events",
                  static_cast<double>(system.simulator().fired_events()));
+  result.queue = queue_tiers(system.simulator());
   return result;
 }
 
@@ -335,6 +349,7 @@ ResolvedRun resolve(const ScenarioSpec& spec, std::uint64_t seed) {
   run.params = spec.params.build();
   run.graph = spec.topology.build();
   run.protocol = spec.protocol;
+  run.engine = spec.engine;
   run.drift = spec.drift;
   run.baseline_mu = spec.params.mu;
   run.seed = seed;

@@ -25,6 +25,7 @@ struct ResolvedRun {
   core::Params params;
   net::Graph graph{1};
   ProtocolKind protocol = ProtocolKind::kFtGcs;
+  sim::QueueBackend engine = sim::QueueBackend::kLadder;
   DriftSpec drift;
   byz::FaultPlan fault_plan;
   /// kGcsBaseline fast-mode speedup (from ParamsSpec::mu; 0 → 0.05). The
@@ -47,6 +48,18 @@ struct RunResult {
   std::vector<std::pair<std::string, std::string>> point;
   std::uint64_t seed = 0;
   std::vector<std::pair<std::string, double>> metrics;
+
+  /// Event-queue tier diagnostics of the run's simulator. Deterministic,
+  /// but engine-dependent — kept out of `metrics` so every sink's output
+  /// stays bit-identical between `--engine heap` and `--engine ladder`;
+  /// the `--timing` footer aggregates them instead.
+  struct QueueTiers {
+    double bucket_count = 0.0;   ///< widest calendar window built
+    double rung_spawns = 0.0;    ///< overflowing buckets split on drain
+    double overflow_peak = 0.0;  ///< overflow-tier occupancy high-water mark
+    double reseeds = 0.0;        ///< windows rebuilt from the overflow tier
+  };
+  QueueTiers queue;
 
   bool has_metric(const std::string& name) const;
   double metric(const std::string& name) const;  ///< aborts if missing

@@ -21,6 +21,7 @@
 #include "byz/strategies.h"
 #include "core/params.h"
 #include "net/graph.h"
+#include "sim/backend.h"
 
 namespace ftgcs::exp {
 
@@ -196,6 +197,11 @@ struct ScenarioSpec {
   ParamsSpec params;
   RampSpec ramp;
   HorizonSpec horizon;
+  /// Event-engine backend the run's Simulator uses. Both backends produce
+  /// bit-identical tables (enforced by the golden-trace pins and the
+  /// queue differential test); `ftgcs_bench --engine heap|ladder` flips
+  /// this for A/B throughput comparisons on any registered scenario.
+  sim::QueueBackend engine = sim::QueueBackend::kLadder;
 
   std::vector<std::uint64_t> seeds = {1};
   SeedAggregation aggregation = SeedAggregation::kPerSeed;
@@ -225,5 +231,9 @@ std::string format_axis_value(const AxisValue& v);
 
 const char* topology_kind_name(TopologyKind kind);
 const char* protocol_name(ProtocolKind kind);
+
+/// Parses "heap" | "ladder" (the `--engine` flag). Throws
+/// std::invalid_argument for anything else.
+sim::QueueBackend parse_queue_backend(const std::string& name);
 
 }  // namespace ftgcs::exp

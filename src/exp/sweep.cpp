@@ -141,6 +141,13 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     sweep.total_wall_ms += wall_ms[i];
     sweep.total_events += task_events(i);
+    const RunResult::QueueTiers& tiers = results[i].queue;
+    sweep.queue.max_bucket_count =
+        std::max(sweep.queue.max_bucket_count, tiers.bucket_count);
+    sweep.queue.rung_spawns += tiers.rung_spawns;
+    sweep.queue.max_overflow_peak =
+        std::max(sweep.queue.max_overflow_peak, tiers.overflow_peak);
+    sweep.queue.reseeds += tiers.reseeds;
   }
 
   const auto row_timing = [&](std::size_t first_task, std::size_t n_tasks) {

@@ -41,6 +41,18 @@ struct SweepResult {
   std::vector<RowTiming> timing;  ///< parallel to rows; empty if disabled
   double total_wall_ms = 0.0;     ///< sum of task wall times
   double total_events = 0.0;      ///< sum of simulated events over tasks
+
+  /// Queue-tier diagnostics aggregated over tasks (maxima for occupancy
+  /// figures, sums for event counters). Deterministic but
+  /// engine-dependent, so they are reported in the `--timing` footer and
+  /// never mixed into the metric tables.
+  struct QueueTierTotals {
+    double max_bucket_count = 0.0;
+    double rung_spawns = 0.0;
+    double max_overflow_peak = 0.0;
+    double reseeds = 0.0;
+  };
+  QueueTierTotals queue;
 };
 
 struct SweepOptions {

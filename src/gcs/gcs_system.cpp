@@ -10,7 +10,9 @@
 namespace ftgcs::gcs {
 
 GcsSystem::GcsSystem(net::Graph graph, Config config)
-    : graph_(std::move(graph)), config_(std::move(config)) {
+    : graph_(std::move(graph)),
+      config_(std::move(config)),
+      sim_(config_.engine) {
   self_ = sim_.register_sink(this);
   sim::Rng master(config_.seed);
   auto delays = config_.delay_model

@@ -109,6 +109,9 @@ class Network final : public sim::EventSink {
                 sim::Time now) override;
 
  private:
+  /// Bounds-checks and schedules one delivery of `payload` re-aimed at
+  /// `to` (shared by a whole broadcast group — encode once, aim N times).
+  void post_delivery(sim::EventPayload& payload, int to, sim::Duration delay);
   void deliver(int from, int to, const Pulse& pulse, sim::Duration delay);
   sim::Rng& edge_rng(int from, int to);
 

@@ -1,5 +1,7 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace ftgcs::sim {
@@ -9,19 +11,32 @@ void EventQueue::reserve(std::size_t capacity) {
   fns_.reserve(capacity);
   positions_.reserve(capacity);
   free_.reserve(capacity);
-  heap_.reserve(capacity);
+  if (backend_ == QueueBackend::kHeap) {
+    heap_.reserve(capacity);
+  } else {
+    bag_.reserve(capacity);
+    // Bucket headers only; each bucket's item vector grows on demand and
+    // keeps its capacity across windows, so the steady state is
+    // allocation-free either way.
+    wheel_.reserve(std::min(capacity, kMaxBuckets));
+  }
 }
 
 std::uint32_t EventQueue::acquire_slot() {
   if (!free_.empty()) {
     const std::uint32_t slot = free_.back();
     free_.pop_back();
+    if (!free_.empty()) {
+      // The next schedule's slot record is a random access into the pool;
+      // start pulling it while this event is being filled in.
+      __builtin_prefetch(&slots_[free_.back()], 1);
+    }
     return slot;
   }
   slots_.emplace_back();
   fns_.emplace_back();
   positions_.push_back(0);
-  FTGCS_ASSERT(slots_.size() < (std::size_t{1} << kSlotBits));
+  FTGCS_ASSERT(slots_.size() < kInlineSlot);  // sentinel stays unused
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -32,12 +47,277 @@ bool EventQueue::decode_live(EventId id, std::uint32_t& slot) const {
   return slot < slots_.size() && slots_[slot].gen == gen;
 }
 
+void EventQueue::push_overflow(const Entry& entry) {
+  // The overflow tier is an UNSORTED bag. Order is never consulted —
+  // reseed() scans it linearly to build the next window — so a push is
+  // one append, a removal one swap-remove, a far-future re-aim an
+  // in-place overwrite.
+  const std::uint32_t slot = entry.slot();
+  if (slot != kInlineSlot) {
+    positions_[slot] = static_cast<std::uint64_t>(bag_.size());
+  }
+  bag_.push_back(entry);
+  ++stats_.overflow_pushes;
+  if (bag_.size() > stats_.overflow_peak) stats_.overflow_peak = bag_.size();
+}
+
+namespace {
+
+/// Clamped bucket index for a bucket offset. `!(off < hi)` (not `>=`)
+/// deliberately catches NaN and +inf as well: offsets of events scheduled
+/// at kTimeInfinity (or computed against an infinite-width degenerate
+/// window) land in the last bucket, whose drain sort still pops them in
+/// exact (time, seq) order — matching the heap backend.
+std::size_t clamp_bucket_index(double off, std::size_t lo, std::size_t hi) {
+  if (!(off < static_cast<double>(hi))) return hi;
+  if (off <= static_cast<double>(lo)) return lo;
+  return static_cast<std::size_t>(off);
+}
+
+}  // namespace
+
+void EventQueue::bucket_insert(Bucket& bucket, bool rung, std::size_t index,
+                               const Entry& entry) {
+  const std::uint32_t slot = entry.slot();
+  if (slot != kInlineSlot) {
+    positions_[slot] = encode_bucket_pos(rung, index, bucket.items.size());
+  }
+  bucket.items.push_back(entry);
+  // If this is the drain head, the next pop re-sorts the remaining span;
+  // for a not-yet-reached bucket the flag is false already.
+  bucket.sorted = false;
+  if (rung) {
+    ++rung_live_;
+  } else {
+    ++wheel_live_;
+  }
+}
+
+void EventQueue::insert_ladder(const Entry& entry) {
+  // An empty window accepts nothing: pushes accumulate in the overflow
+  // tier and the next pop reseeds a fresh window around them. This keeps
+  // the one invariant everything rests on — every overflow entry is
+  // (time, seq)-after every window entry.
+  if (entry.at >= win_end_ || wheel_live_ + rung_live_ == 0) {
+    push_overflow(entry);
+    return;
+  }
+  // Clamping low to the drain bucket (including times below the window
+  // origin, which are legal at queue level) preserves exact pop order:
+  // the drain bucket re-sorts, and everything earlier has already fired.
+  const std::size_t index =
+      clamp_bucket_index((entry.at - win_start_) / bucket_width_, wheel_cur_,
+                         wheel_nb_ - 1);
+  if (index == wheel_cur_ && rung_active_) {
+    const std::size_t sub =
+        clamp_bucket_index((entry.at - rung_start_) / rung_width_, rung_cur_,
+                           rung_nb_ - 1);
+    bucket_insert(rung_[sub], /*rung=*/true, sub, entry);
+    return;
+  }
+  bucket_insert(wheel_[index], /*rung=*/false, index, entry);
+}
+
+void EventQueue::remove_resident(std::uint32_t slot) {
+  const std::uint64_t pos = positions_[slot];
+  if (pos < (std::uint64_t{1} << 32)) {
+    // Overflow bag: swap-remove (the kHeap backend never routes through
+    // here — its cancel path uses remove_at on the real heap directly).
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    const Entry moved = bag_.back();
+    bag_.pop_back();
+    if (idx < bag_.size()) {
+      bag_[idx] = moved;
+      const std::uint32_t moved_slot = moved.slot();
+      if (moved_slot != kInlineSlot) {
+        positions_[moved_slot] = static_cast<std::uint64_t>(idx);
+      }
+    }
+    return;
+  }
+  const bool rung = (pos & kRungBit) != 0;
+  const std::size_t bucket_index =
+      static_cast<std::size_t>(((pos & ~kRungBit) >> 32) - 1);
+  std::size_t idx = static_cast<std::uint32_t>(pos);
+  Bucket& bucket = rung ? rung_[bucket_index] : wheel_[bucket_index];
+  if (idx >= bucket.items.size() || bucket.items[idx].slot() != slot) {
+    // The recorded index went stale when the bucket was sorted for drain
+    // (sort_bucket skips the positions rewrite). The bucket is still the
+    // right one; locate the entry by its unique slot.
+    idx = 0;
+    while (bucket.items[idx].slot() != slot) ++idx;
+  }
+  const Entry moved = bucket.items.back();
+  bucket.items.pop_back();
+  if (idx < bucket.items.size()) {
+    bucket.items[idx] = moved;
+    const std::uint32_t moved_slot = moved.slot();
+    if (moved_slot != kInlineSlot) {
+      positions_[moved_slot] = encode_bucket_pos(rung, bucket_index, idx);
+    }
+  }
+  bucket.sorted = false;  // a swap-remove breaks the drain order
+  if (rung) {
+    --rung_live_;
+  } else {
+    --wheel_live_;
+  }
+}
+
+void EventQueue::sort_bucket(Bucket& bucket) {
+  // Descending (time, seq): pops are pop_back, so the live span is always
+  // exactly `items` and cancel stays a swap-remove. Positions are NOT
+  // rewritten — that would be one random-access write per event into the
+  // multi-MB positions_ array. Instead they go stale and remove_resident
+  // verifies the slot before trusting an index (scan fallback; only the
+  // drain bucket is ever sorted, so the case is rare and the scan short).
+  std::sort(bucket.items.begin(), bucket.items.end(),
+            [](const Entry& a, const Entry& b) { return earlier(b, a); });
+  bucket.sorted = true;
+  head_cache_ = &bucket;
+}
+
+void EventQueue::spawn_rung(Bucket& bucket) {
+  head_cache_ = nullptr;  // rung_ may reallocate below
+  const std::size_t n = bucket.items.size();
+  rung_nb_ = std::clamp(n / kRungFanout, kMinBuckets, kMaxRungBuckets);
+  if (rung_.size() < rung_nb_) rung_.resize(rung_nb_);
+  Time tmin = bucket.items.front().at;
+  Time tmax = tmin;
+  for (const Entry& e : bucket.items) {
+    tmin = std::min(tmin, e.at);
+    tmax = std::max(tmax, e.at);
+  }
+  if (!std::isfinite(tmin)) tmin = 0.0;  // see reseed(): avoid NaN offsets
+  rung_start_ = tmin;
+  rung_width_ = std::max((tmax - tmin) / static_cast<double>(rung_nb_),
+                         std::max(std::abs(tmin), 1.0) * 1e-15);
+  for (const Entry& e : bucket.items) {
+    const std::size_t sub = clamp_bucket_index(
+        (e.at - rung_start_) / rung_width_, 0, rung_nb_ - 1);
+    Bucket& target = rung_[sub];
+    const std::uint32_t slot = e.slot();
+    if (slot != kInlineSlot) {
+      positions_[slot] =
+          encode_bucket_pos(/*rung=*/true, sub, target.items.size());
+    }
+    target.items.push_back(e);
+    target.sorted = false;
+  }
+  rung_live_ += n;
+  wheel_live_ -= n;
+  bucket.items.clear();
+  bucket.sorted = false;
+  rung_cur_ = 0;
+  rung_active_ = true;
+  ++stats_.rung_spawns;
+}
+
+void EventQueue::reseed() {
+  FTGCS_ASSERT(wheel_live_ == 0 && rung_live_ == 0 && !bag_.empty());
+  head_cache_ = nullptr;  // wheel_ may reallocate below
+  rung_active_ = false;
+  const std::size_t n = bag_.size();
+  Time tmin = bag_.front().at;
+  Time tmax = tmin;
+  for (const Entry& e : bag_) {
+    tmin = std::min(tmin, e.at);
+    tmax = std::max(tmax, e.at);
+  }
+  wheel_nb_ = std::clamp(n, kMinBuckets, kMaxBuckets);
+  if (wheel_.size() < wheel_nb_) wheel_.resize(wheel_nb_);
+  // Events at kTimeInfinity (legal, if unusual) would make every offset
+  // NaN if the window originated at infinity; origin 0 keeps their
+  // offsets +inf instead, which clamp_bucket_index sends to the last
+  // bucket — still exact (time, seq) pop order.
+  if (!std::isfinite(tmin)) tmin = 0.0;
+  // Auto-tune: a few events per bucket at the observed density, with the
+  // window stretched kWindowStretch past the span so steady-state pushes
+  // keep landing in buckets (see the constant's comment). The width floor
+  // keeps indices finite when the whole population shares one timestamp
+  // (relative epsilon, so 1e9-scale horizons still resolve).
+  bucket_width_ =
+      std::max(kWindowStretch * (tmax - tmin) / static_cast<double>(wheel_nb_),
+               std::max(std::abs(tmin), 1.0) * 1e-15);
+  win_start_ = tmin;
+  win_end_ = win_start_ + bucket_width_ * static_cast<double>(wheel_nb_);
+  wheel_cur_ = 0;
+  // The bag is a plain vector: transfer with one linear scan, no pops.
+  for (const Entry& e : bag_) {
+    const std::size_t index = clamp_bucket_index(
+        (e.at - win_start_) / bucket_width_, 0, wheel_nb_ - 1);
+    Bucket& target = wheel_[index];
+    const std::uint32_t slot = e.slot();
+    if (slot != kInlineSlot) {
+      positions_[slot] =
+          encode_bucket_pos(/*rung=*/false, index, target.items.size());
+    }
+    target.items.push_back(e);
+    target.sorted = false;
+  }
+  wheel_live_ = n;
+  bag_.clear();
+  ++stats_.reseeds;
+  stats_.bucket_count = std::max(stats_.bucket_count, wheel_nb_);
+}
+
+bool EventQueue::prepare_head() {
+  for (;;) {
+    if (rung_active_) {
+      while (rung_cur_ < rung_nb_ && rung_[rung_cur_].items.empty()) {
+        ++rung_cur_;
+      }
+      if (rung_cur_ < rung_nb_) {
+        Bucket& bucket = rung_[rung_cur_];
+        if (!bucket.sorted) sort_bucket(bucket);
+        head_cache_ = &bucket;
+        return true;
+      }
+      rung_active_ = false;
+      ++wheel_cur_;
+    }
+    while (wheel_cur_ < wheel_nb_ && wheel_[wheel_cur_].items.empty()) {
+      ++wheel_cur_;
+    }
+    if (wheel_cur_ < wheel_nb_) {
+      Bucket& bucket = wheel_[wheel_cur_];
+      if (!bucket.sorted && bucket.items.size() > kRungSpawnThreshold) {
+        spawn_rung(bucket);
+        continue;
+      }
+      if (!bucket.sorted) sort_bucket(bucket);
+      head_cache_ = &bucket;
+      return true;
+    }
+    if (bag_.empty()) return false;
+    reseed();
+  }
+}
+
+Time EventQueue::next_time() const {
+  if (backend_ == QueueBackend::kHeap) {
+    return heap_.empty() ? kTimeInfinity : heap_[0].at;
+  }
+  // Sorting the drain bucket is logically const: the live event set and
+  // the pop order are unchanged.
+  EventQueue& self = const_cast<EventQueue&>(*this);
+  if (!self.prepare_head()) return kTimeInfinity;
+  return self.head_cache_->items.back().at;
+}
+
 EventId EventQueue::push_entry(Time t, std::uint32_t slot) {
   const std::uint64_t seq = next_seq_++;
   FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
-  const HeapEntry entry{t, seq << kSlotBits | slot};
-  heap_.emplace_back();  // grow; sift places the entry into the hole chain
-  place(entry, sift_up(entry, heap_.size() - 1));
+  if (backend_ == QueueBackend::kHeap) {
+    const HeapEntry entry{t, seq << kSlotBits | slot};
+    heap_.emplace_back();  // grow; sift places the entry into the hole chain
+    place(entry, sift_up(entry, heap_.size() - 1));
+  } else {
+    Entry entry;
+    entry.at = t;
+    entry.key = seq << kSlotBits | slot;
+    insert_ladder(entry);
+  }
   return EventId{(static_cast<std::uint64_t>(slot) + 1) << 32 |
                  slots_[slot].gen};
 }
@@ -45,9 +325,7 @@ EventId EventQueue::push_entry(Time t, std::uint32_t slot) {
 EventId EventQueue::schedule(Time t, Callback fn) {
   FTGCS_EXPECTS(fn != nullptr);
   const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
-  s.kind = EventKind::kClosure;
-  s.sink = kInvalidSink;
+  slots_[slot].set(EventKind::kClosure, 0);
   fns_[slot] = std::move(fn);
   return push_entry(t, slot);
 }
@@ -55,21 +333,44 @@ EventId EventQueue::schedule(Time t, Callback fn) {
 EventId EventQueue::schedule_typed(Time t, EventKind kind, SinkId sink,
                                    const EventPayload& payload) {
   FTGCS_EXPECTS(kind != EventKind::kClosure);
-  FTGCS_EXPECTS(sink != kInvalidSink);
+  FTGCS_EXPECTS(sink < (1u << 24));  // packed next to the kind tag
   const std::uint32_t slot = acquire_slot();
   Slot& s = slots_[slot];
-  s.kind = kind;
-  s.sink = sink;
+  s.set(kind, sink);
   s.payload = payload;
   return push_entry(t, slot);
+}
+
+void EventQueue::schedule_fire_only(Time t, EventKind kind, SinkId sink,
+                                    const EventPayload& payload) {
+  FTGCS_EXPECTS(kind != EventKind::kClosure);
+  FTGCS_EXPECTS(sink < (1u << 24));
+  if (backend_ == QueueBackend::kHeap) {
+    // The heap stores slotted entries only; semantics are identical (the
+    // returned id is simply dropped — fire-only ids are unobservable).
+    schedule_typed(t, kind, sink, payload);
+    return;
+  }
+  const std::uint64_t seq = next_seq_++;
+  FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
+  Entry entry;
+  entry.at = t;
+  entry.key = seq << kSlotBits | kInlineSlot;
+  entry.payload = payload;
+  entry.sink_kind = sink << 8 | static_cast<std::uint32_t>(kind);
+  insert_ladder(entry);
 }
 
 bool EventQueue::cancel(EventId id) {
   std::uint32_t slot;
   if (!decode_live(id, slot)) return false;
-  remove_at(positions_[slot]);
+  if (backend_ == QueueBackend::kHeap) {
+    remove_at(static_cast<std::size_t>(positions_[slot]));
+  } else {
+    remove_resident(slot);
+  }
   bump_generation(slot);
-  if (slots_[slot].kind == EventKind::kClosure) fns_[slot] = nullptr;
+  if (slots_[slot].kind() == EventKind::kClosure) fns_[slot] = nullptr;
   free_.push_back(slot);
   return true;
 }
@@ -81,16 +382,55 @@ bool EventQueue::reschedule(EventId id, Time t) {
   // already scheduled there, exactly as a cancel + schedule would.
   const std::uint64_t seq = next_seq_++;
   FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
-  sift(HeapEntry{t, seq << kSlotBits | slot}, positions_[slot]);
+  const std::uint64_t key = seq << kSlotBits | slot;
+  const std::uint64_t pos = positions_[slot];
+  if (backend_ == QueueBackend::kHeap) {
+    sift(HeapEntry{t, key}, static_cast<std::size_t>(pos));
+    return true;
+  }
+  if (pos < (std::uint64_t{1} << 32) &&
+      (t >= win_end_ || wheel_live_ + rung_live_ == 0)) {
+    // Overflow entry staying in the overflow tier: the bag is unsorted,
+    // so a far-future timer re-aim is one in-place overwrite.
+    Entry& entry = bag_[static_cast<std::size_t>(pos)];
+    entry.at = t;
+    entry.key = key;
+    return true;
+  }
+  if (pos >= (std::uint64_t{1} << 32) && (pos & kRungBit) == 0 &&
+      t < win_end_) {
+    // Timer re-aims move fire times by O(rho) — almost always within the
+    // same bucket. Overwriting in place (the drain sort orders it) skips
+    // the swap-remove + reinsert round trip.
+    const std::size_t bucket_index =
+        static_cast<std::size_t>((pos >> 32) - 1);
+    const std::size_t idx = static_cast<std::uint32_t>(pos);
+    const double off = (t - win_start_) / bucket_width_;
+    const bool same_bucket = bucket_index > wheel_cur_ &&
+                             off >= static_cast<double>(bucket_index) &&
+                             off < static_cast<double>(bucket_index + 1);
+    if (same_bucket) {
+      Bucket& bucket = wheel_[bucket_index];
+      if (idx < bucket.items.size() && bucket.items[idx].slot() == slot) {
+        bucket.items[idx].at = t;
+        bucket.items[idx].key = key;
+        bucket.sorted = false;
+        return true;
+      }
+    }
+  }
+  remove_resident(slot);
+  Entry entry;
+  entry.at = t;
+  entry.key = key;
+  insert_ladder(entry);
   return true;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  FTGCS_EXPECTS(!heap_.empty());
-  const HeapEntry head = heap_[0];
-  remove_at(0);
   Fired fired;
-  fill_fired(head, fired);
+  const bool popped = pop_if_at_most(kTimeInfinity, fired);
+  FTGCS_EXPECTS(popped);
   return fired;
 }
 

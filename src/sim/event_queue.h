@@ -1,25 +1,48 @@
 // Cancellable discrete-event queue — typed, slot-pooled, allocation-free
-// after warm-up.
+// after warm-up, with two interchangeable priority front-ends.
 //
 // Events are (time, sequence) ordered; sequence numbers break ties FIFO so
-// executions are fully deterministic. Each scheduled event occupies a slot
-// in a pooled array; the slot index and a generation stamp are packed into
-// the EventId, so stale handles (cancel-after-fire, slot reuse) are
+// executions are fully deterministic. A *cancellable* event occupies a
+// slot in a pooled array; the slot index and a generation stamp are packed
+// into the EventId, so stale handles (cancel-after-fire, slot reuse) are
 // rejected by a stamp comparison — no map lookup anywhere. Slots are
 // recycled through a free list: a steady-state simulation performs no
 // allocation per event, neither for the bookkeeping nor for the work item
 // (typed events carry a POD payload dispatched to a registered EventSink
 // instead of a closure).
 //
-// The priority queue is an intrusive 4-ary heap in one contiguous vector:
-// each slot knows its heap position, so
-//   * cancel removes its entry directly (stamp bump + one targeted sift,
-//     no tombstones to skip later), and
-//   * reschedule — the dominant operation of logical-timer re-aiming —
-//     moves the entry in place under a fresh sequence number, which is
-//     observably identical to cancel+schedule but does half the heap work.
-// 4-ary beats binary here: half the levels per sift, and the sibling scan
-// stays in one cache line.
+// Backend kHeap: an intrusive 4-ary heap in one contiguous vector. Each
+// slot knows its heap position, so cancel removes its entry directly
+// (stamp bump + one targeted sift, no tombstones) and reschedule — the
+// dominant operation of logical-timer re-aiming — moves the entry in place
+// under a fresh sequence number. 4-ary beats binary here: half the levels
+// per sift, and the sibling scan stays in one cache line. Cost is
+// O(log n), which collapses at 40k-node populations (~400k in flight).
+//
+// Backend kLadder: a calendar-queue window of buckets over near-future
+// time absorbs push/pop/reschedule in amortized O(1); far-future events
+// live in an UNSORTED overflow bag whose order is never consulted — the
+// window is rebuilt ("reseeded") by one linear scan of the bag whenever it
+// drains — so overflow pushes, removals, and far-future re-aims are O(1)
+// too. The bucket width is auto-tuned to the observed density (window =
+// kWindowStretch × population span), so buckets hold O(1) events on
+// uniform workloads; round-synchronized delivery bands that pile one
+// bucket high are split on drain into a finer "rung" of sub-buckets (a
+// one-level ladder queue) instead of paying one big sort. A bucket is
+// sorted on drain — never on insert — in exactly the heap's (time, seq)
+// order, so the pop sequence is bit-identical between backends (pinned by
+// tests/test_queue_differential.cpp and the golden scenario traces).
+//
+// Two further ladder-only specializations carry the 40k-node workloads:
+//   * fire-only events (schedule_fire_only — all network deliveries) store
+//     their payload INLINE in the bucket entry: no slot acquire, no
+//     position write, no generation bump — zero random pool accesses on
+//     the dominant path;
+//   * for cancellable events, positions_ generalizes the heap index to a
+//     tagged residence word (bag index, wheel bucket, or rung bucket), so
+//     cancel and reschedule stay O(1) swap-removals wherever the event
+//     lives; a drain sort leaves positions stale and the removal verifies
+//     the slot before trusting an index.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/backend.h"
 #include "sim/event.h"
 #include "sim/time_types.h"
 #include "support/assert.h"
@@ -45,6 +69,16 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
+  explicit EventQueue(QueueBackend backend = QueueBackend::kHeap)
+      : backend_(backend) {}
+
+  // head_cache_ points into this object's own bucket storage; a copied or
+  // moved-from queue would alias another instance's buckets.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  QueueBackend backend() const { return backend_; }
+
   /// Schedules `fn` at absolute time `t` (legacy closure path). Events at
   /// equal time run in scheduling order. Returns a handle for `cancel`.
   EventId schedule(Time t, Callback fn);
@@ -55,9 +89,18 @@ class EventQueue {
   EventId schedule_typed(Time t, EventKind kind, SinkId sink,
                          const EventPayload& payload);
 
+  /// Schedules a typed event that can never be cancelled or rescheduled
+  /// (Fired.id is the null id). The dominant traffic — network pulse
+  /// deliveries — is fire-only, and on the ladder backend the payload
+  /// rides inline in the bucket entry: no slot pool, no positions, no
+  /// generation stamp. Fires in exactly the (time, seq) order a
+  /// schedule_typed at the same instant would have.
+  void schedule_fire_only(Time t, EventKind kind, SinkId sink,
+                          const EventPayload& payload);
+
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a no-op (returns false). Stamp bump + targeted
-  /// heap removal; no search, no allocation.
+  /// removal from wherever the entry lives; no search, no allocation.
   bool cancel(EventId id);
 
   /// Moves a pending event to time `t` under a fresh sequence number —
@@ -66,20 +109,25 @@ class EventQueue {
   bool reschedule(EventId id, Time t);
 
   /// True if no live events remain.
-  bool empty() const { return heap_.empty(); }
+  bool empty() const {
+    return heap_.empty() && bag_.empty() && wheel_live_ == 0 &&
+           rung_live_ == 0;
+  }
 
   /// Number of live (not cancelled, not fired) events.
-  std::size_t size() const { return heap_.size(); }
-
-  /// Time of the earliest live event; kTimeInfinity when empty.
-  Time next_time() const {
-    return heap_.empty() ? kTimeInfinity : heap_[0].at;
+  std::size_t size() const {
+    return heap_.size() + bag_.size() + wheel_live_ + rung_live_;
   }
+
+  /// Time of the earliest live event; kTimeInfinity when empty. On the
+  /// ladder backend this may sort the current bucket (logically const —
+  /// the live event set and the pop order are unchanged).
+  Time next_time() const;
 
   /// Pops and returns the earliest live event. Requires !empty().
   struct Fired {
     Time at = 0.0;
-    EventId id;
+    EventId id;  ///< null for fire-only events
     EventKind kind = EventKind::kClosure;
     SinkId sink = kInvalidSink;
     EventPayload payload;
@@ -97,26 +145,50 @@ class EventQueue {
   /// so this counts logical schedules exactly like cancel+schedule would.
   std::uint64_t scheduled_count() const { return next_seq_ - 1; }
 
-  /// Pre-sizes pool and heap so the first `capacity` concurrent events
+  /// Pre-sizes pool and tiers so the first `capacity` concurrent events
   /// allocate nothing.
   void reserve(std::size_t capacity);
 
   /// Slots currently in the pool (diagnostics; high-water mark of
-  /// concurrent events).
+  /// concurrent cancellable events).
   std::size_t pool_size() const { return slots_.size(); }
 
+  /// Queue-tier diagnostics, surfaced through `--timing` footers so sweep
+  /// output shows which tier dominated a run. All values are deterministic
+  /// functions of the schedule (no wall clock involved).
+  struct TierStats {
+    std::size_t bucket_count = 0;   ///< widest calendar window built
+    std::uint64_t rung_spawns = 0;  ///< overflowing buckets split on drain
+    std::size_t overflow_peak = 0;  ///< overflow-tier occupancy high-water mark
+    std::uint64_t overflow_pushes = 0;  ///< events routed via the overflow tier
+    std::uint64_t reseeds = 0;      ///< windows rebuilt from the overflow tier
+  };
+  const TierStats& tier_stats() const { return stats_; }
+
  private:
-  /// 40 bytes; closures live in the parallel fns_ array so the typed hot
-  /// path never touches std::function storage.
+  /// 32 bytes — two slots per cache line; closures live in the parallel
+  /// fns_ array so the typed hot path never touches std::function storage.
+  /// The sink id and event kind share one word (24 + 8 bits): a run has at
+  /// most a few-per-node sinks, far below 2^24.
   struct Slot {
     std::uint32_t gen = 1;  ///< never 0, so EventId.value != 0 always
-    EventKind kind = EventKind::kClosure;
-    SinkId sink = kInvalidSink;
+    std::uint32_t sink_kind = 0;  ///< sink << 8 | kind
     EventPayload payload;
+
+    void set(EventKind kind, SinkId sink) {
+      sink_kind = sink << 8 | static_cast<std::uint32_t>(kind);
+    }
+    EventKind kind() const {
+      return static_cast<EventKind>(sink_kind & 0xffu);
+    }
+    SinkId sink() const { return sink_kind >> 8; }
   };
-  /// 16 bytes — a 4-ary node's sibling group spans one cache line. `key`
-  /// packs (seq << kSlotBits) | slot: comparing keys compares sequence
-  /// numbers first (they are unique), and the slot rides along for free.
+  static_assert(sizeof(EventPayload) == 24);
+
+  /// kHeap's intrusive heap node: 16 bytes — a 4-ary sibling group spans
+  /// one cache line. `key` packs (seq << kSlotBits) | slot: comparing keys
+  /// compares sequence numbers first (they are unique), and the slot rides
+  /// along for free.
   struct HeapEntry {
     Time at;
     std::uint64_t key;
@@ -125,13 +197,86 @@ class EventQueue {
       return static_cast<std::uint32_t>(key) & ((1u << kSlotBits) - 1);
     }
   };
-  /// 22/42 split: ≤ 4M concurrent events (a 40k-node full-mesh run keeps
-  /// ~400k in flight) and ~4.4e12 lifetime schedules before the guarded
-  /// abort — days of wall clock at current throughput.
+
+  /// kLadder's bucket/bag element: the heap node plus an inline payload,
+  /// used (and valid) only when slot() == kInlineSlot — fire-only events
+  /// never touch the slot pool at all. 48 bytes; buckets are contiguous
+  /// and sorted in place, so the extra width costs streaming bandwidth,
+  /// not random accesses.
+  struct Entry {
+    Time at;
+    std::uint64_t key;
+    EventPayload payload;
+    std::uint32_t sink_kind = 0;  ///< sink << 8 | kind (fire-only events)
+    std::uint32_t reserved_ = 0;
+
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key) & ((1u << kSlotBits) - 1);
+    }
+  };
+
+  /// One calendar bucket. Unsorted while it collects events; sorted in
+  /// DESCENDING (time, seq) order when it becomes the drain head, so pops
+  /// are pop_back and the live span is always exactly `items`.
+  struct Bucket {
+    std::vector<Entry> items;
+    bool sorted = false;
+  };
+
+  /// 22/42 split: ≤ 4M concurrent cancellable events (a 40k-node full-mesh
+  /// run keeps ~400k in flight) and ~4.4e12 lifetime schedules before the
+  /// guarded abort — days of wall clock at current throughput.
   static constexpr unsigned kSlotBits = 22;
   static constexpr unsigned kSeqBits = 64 - kSlotBits;
+  /// Sentinel slot value marking a fire-only (inline payload) entry.
+  static constexpr std::uint32_t kInlineSlot = (1u << kSlotBits) - 1;
 
-  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+  // ---- residence encoding (positions_) --------------------------------------
+  // positions_[slot] describes where the slot's entry currently lives:
+  //   < 2^32                       → overflow tier (heap_/bag_), that index
+  //   (b+1) << 32 | idx            → wheel bucket b, items[idx]
+  //   kRungBit | (b+1) << 32 | idx → rung bucket b, items[idx]
+  // Fire-only entries have no slot and appear in no position.
+  static constexpr std::uint64_t kRungBit = std::uint64_t{1} << 63;
+  static std::uint64_t encode_bucket_pos(bool rung, std::size_t bucket,
+                                         std::size_t idx) {
+    return (rung ? kRungBit : 0) |
+           (static_cast<std::uint64_t>(bucket + 1) << 32) |
+           static_cast<std::uint64_t>(idx);
+  }
+
+  // ---- calendar-window tuning -----------------------------------------------
+  /// Bucket count tracks the population, capped well below the population
+  /// at 40k-node scale: the limiting resource is the cache working set of
+  /// ACTIVE bucket tails (the delivery band sweeps them on every insert),
+  /// not the per-bucket sort, which stays cheap up to a few hundred
+  /// contiguous entries. 2^14 × wider buckets beat 2^17 × narrow ones by
+  /// ~15% end-to-end on the 40k torus.
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 14;
+  /// The window is stretched this far past the span observed at reseed.
+  /// The span of the in-flight population equals the push horizon (delay /
+  /// timer bound), so a window of exactly one span would put nearly every
+  /// steady-state push just beyond win_end_ — through the overflow tier.
+  /// A 3× window keeps ~2/3 of pushes in O(1) buckets at the price of 3×
+  /// bucket occupancy; stretching further loses more to bucket-tail cache
+  /// misses than it saves in overflow pushes (measured on large_torus).
+  static constexpr double kWindowStretch = 3.0;
+  /// A drain-head bucket larger than this is split into a rung of finer
+  /// sub-buckets instead of sorted whole (skew absorption). Sorting ~2k
+  /// contiguous PODs costs ~11 compares/event and no redistribution, so
+  /// the rung only engages on real pile-ups (round-synchronized delivery
+  /// bands and reseed transfers put 100s–1000s of events per bucket; see
+  /// kRungFanout).
+  static constexpr std::size_t kRungSpawnThreshold = 2048;
+  /// Sub-buckets target ~kRungFanout events each: fine enough that the
+  /// per-sub-bucket sort is trivial, coarse enough that draining the rung
+  /// does not degenerate into scanning thousands of empty sub-buckets.
+  static constexpr std::size_t kRungFanout = 16;
+  static constexpr std::size_t kMaxRungBuckets = 4096;
+
+  template <typename E>
+  static bool earlier(const E& a, const E& b) {
     // Branchless: heap order is data-random, so a short-circuit here is a
     // guaranteed misprediction fountain inside the sift loops.
     return (a.at < b.at) | ((a.at == b.at) & (a.key < b.key));
@@ -144,25 +289,71 @@ class EventQueue {
   /// Decodes a live id into its slot index, or returns false.
   bool decode_live(EventId id, std::uint32_t& slot) const;
   EventId push_entry(Time t, std::uint32_t slot);
-  void fill_fired(const HeapEntry& head, Fired& out);
+  void fill_fired_slot(Time at, std::uint32_t slot, Fired& out);
+  void fill_fired(const Entry& head, Fired& out);
 
   void place(const HeapEntry& entry, std::size_t i) {
     heap_[i] = entry;
-    positions_[entry.slot()] = static_cast<std::uint32_t>(i);
+    positions_[entry.slot()] = static_cast<std::uint64_t>(i);
   }
   std::size_t sift_up(HeapEntry entry, std::size_t i);
   std::size_t sift_down(HeapEntry entry, std::size_t i);
   void sift(HeapEntry entry, std::size_t i);
   void remove_at(std::size_t i);
 
+  // ---- ladder tier helpers (event_queue.cpp) --------------------------------
+  void push_overflow(const Entry& entry);
+  void insert_ladder(const Entry& entry);
+  void bucket_insert(Bucket& bucket, bool rung, std::size_t index,
+                     const Entry& entry);
+  /// Removes the (cancellable) entry of `slot` from wherever it lives.
+  void remove_resident(std::uint32_t slot);
+  /// Ensures head_cache_ points at the sorted, non-empty drain bucket.
+  /// Advances the window, spawns rungs, and reseeds from the overflow tier
+  /// as needed. Returns false iff the queue is empty.
+  bool prepare_head();
+  void sort_bucket(Bucket& bucket);
+  void spawn_rung(Bucket& bucket);
+  void reseed();
+
+  QueueBackend backend_ = QueueBackend::kHeap;
+
   std::vector<Slot> slots_;
   std::vector<Callback> fns_;  ///< parallel to slots_; closure events only
-  /// Heap index of each slot's entry, parallel to slots_ but kept separate:
-  /// sift moves touch only this dense array, not the fat slot records.
-  std::vector<std::uint32_t> positions_;
+  /// Residence of each slot's entry (see encoding above), parallel to
+  /// slots_ but kept separate: sift and bucket moves touch only this dense
+  /// array, not the fat slot records.
+  std::vector<std::uint64_t> positions_;
   std::vector<std::uint32_t> free_;
-  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> heap_;  ///< kHeap: the whole queue
+  std::vector<Entry> bag_;       ///< kLadder: unsorted far-future overflow
   std::uint64_t next_seq_ = 1;
+
+  // ---- calendar window (kLadder only) ---------------------------------------
+  std::vector<Bucket> wheel_;   ///< active buckets: indices [0, wheel_nb_)
+  std::size_t wheel_nb_ = 0;    ///< buckets in the current window
+  std::size_t wheel_cur_ = 0;   ///< current drain bucket
+  Time win_start_ = 0.0;        ///< window origin (bucket 0 lower bound)
+  Time win_end_ = 0.0;          ///< exclusive upper bound; beyond → overflow
+  double bucket_width_ = 1.0;
+  std::size_t wheel_live_ = 0;
+
+  std::vector<Bucket> rung_;    ///< one-level fine split of the drain bucket
+  std::size_t rung_nb_ = 0;
+  std::size_t rung_cur_ = 0;
+  Time rung_start_ = 0.0;
+  double rung_width_ = 1.0;
+  std::size_t rung_live_ = 0;
+  bool rung_active_ = false;
+
+  /// The sorted, non-empty bucket pops come from. Any mutation that could
+  /// change the head either clears the bucket's sorted flag (insert,
+  /// swap-remove) or nulls this cache (reseed, rung spawn — the backing
+  /// vectors may reallocate there), so a sorted non-empty cached bucket is
+  /// always the true head.
+  Bucket* head_cache_ = nullptr;
+
+  TierStats stats_;
 };
 
 // ---- inline hot path --------------------------------------------------------
@@ -227,29 +418,73 @@ inline void EventQueue::remove_at(std::size_t i) {
   place(moved, sift_up(moved, hole));
 }
 
-inline void EventQueue::fill_fired(const HeapEntry& head, Fired& out) {
-  const std::uint32_t slot = head.slot();
+inline void EventQueue::fill_fired_slot(Time at, std::uint32_t slot,
+                                        Fired& out) {
   Slot& s = slots_[slot];
-  out.at = head.at;
+  out.at = at;
   out.id = EventId{(static_cast<std::uint64_t>(slot) + 1) << 32 | s.gen};
-  out.kind = s.kind;
-  out.sink = s.sink;
+  out.kind = s.kind();
   out.payload = s.payload;
-  if (s.kind == EventKind::kClosure) {
+  if (out.kind == EventKind::kClosure) {
+    out.sink = kInvalidSink;
     out.fn = std::move(fns_[slot]);
     fns_[slot] = nullptr;  // drop captures now, not at slot reuse
   } else {
+    out.sink = s.sink();
     out.fn = nullptr;
   }
   bump_generation(slot);  // the id is spent: cancel-after-fire no-ops
   free_.push_back(slot);
 }
 
+inline void EventQueue::fill_fired(const Entry& head, Fired& out) {
+  const std::uint32_t slot = head.slot();
+  if (slot == kInlineSlot) {
+    // Fire-only: everything rides in the entry — no pool access at all.
+    out.at = head.at;
+    out.id = EventId{0};
+    out.kind = static_cast<EventKind>(head.sink_kind & 0xffu);
+    out.sink = head.sink_kind >> 8;
+    out.payload = head.payload;
+    out.fn = nullptr;
+    return;
+  }
+  fill_fired_slot(head.at, slot, out);
+}
+
 inline bool EventQueue::pop_if_at_most(Time t_end, Fired& out) {
-  if (heap_.empty() || heap_[0].at > t_end) return false;
-  const HeapEntry head = heap_[0];
-  remove_at(0);
+  if (backend_ == QueueBackend::kHeap) {
+    if (heap_.empty() || heap_[0].at > t_end) return false;
+    const HeapEntry head = heap_[0];
+    remove_at(0);
+    fill_fired_slot(head.at, head.slot(), out);
+    return true;
+  }
+  // Ladder fast path: the drain bucket is sorted descending, so the head
+  // is one back() read and the pop one pop_back — no sift, no tree walk.
+  Bucket* bucket = head_cache_;
+  if (bucket == nullptr || !bucket->sorted || bucket->items.empty()) {
+    if (!prepare_head()) return false;
+    bucket = head_cache_;
+  }
+  const std::size_t n = bucket->items.size();
+  const Entry& head = bucket->items[n - 1];
+  if (head.at > t_end) return false;
+  if (n >= 2) {
+    const std::uint32_t next_slot = bucket->items[n - 2].slot();
+    if (next_slot != kInlineSlot) {
+      // The next pop's slot record is a random access into a multi-MB
+      // pool; start pulling it while this event is dispatched.
+      __builtin_prefetch(&slots_[next_slot], 1);
+    }
+  }
   fill_fired(head, out);
+  bucket->items.pop_back();
+  if (rung_active_) {
+    --rung_live_;
+  } else {
+    --wheel_live_;
+  }
   return true;
 }
 

@@ -36,6 +36,13 @@ EventId Simulator::post_after(Duration dt, EventKind kind, SinkId sink,
   return queue_.schedule_typed(now_ + dt, kind, sink, payload);
 }
 
+void Simulator::post_fire_only_after(Duration dt, EventKind kind, SinkId sink,
+                                     const EventPayload& payload) {
+  FTGCS_EXPECTS(dt >= 0.0);
+  FTGCS_EXPECTS(sink < sinks_.size());
+  queue_.schedule_fire_only(now_ + dt, kind, sink, payload);
+}
+
 void Simulator::dispatch(EventQueue::Fired& fired) {
   if (fired.kind == EventKind::kClosure) {
     fired.fn();

@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "sim/backend.h"
 #include "sim/event.h"
 #include "sim/event_queue.h"
 #include "sim/time_types.h"
@@ -27,6 +28,14 @@ namespace ftgcs::sim {
 class Simulator {
  public:
   using Callback = EventQueue::Callback;
+
+  /// Selects the scheduling front-end (see sim/backend.h). Both backends
+  /// execute bit-identical event sequences; kLadder keeps push/pop O(1)
+  /// at large in-flight populations.
+  explicit Simulator(QueueBackend backend = QueueBackend::kHeap)
+      : queue_(backend) {}
+
+  QueueBackend backend() const { return queue_.backend(); }
 
   /// Current Newtonian time.
   Time now() const { return now_; }
@@ -49,6 +58,13 @@ class Simulator {
   /// Schedules a typed event after a non-negative delay.
   EventId post_after(Duration dt, EventKind kind, SinkId sink,
                      const EventPayload& payload);
+
+  /// Schedules a typed event after a non-negative delay that can never be
+  /// cancelled or rescheduled. The dominant traffic — pulse deliveries —
+  /// is fire-only; on the ladder backend this path carries the payload
+  /// inline in the queue (no slot pool, no handle bookkeeping).
+  void post_fire_only_after(Duration dt, EventKind kind, SinkId sink,
+                            const EventPayload& payload);
 
   /// Cancels a pending event; no-op if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -78,6 +94,12 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t fired_events() const { return fired_; }
   std::uint64_t scheduled_events() const { return queue_.scheduled_count(); }
+
+  /// Queue-tier diagnostics (bucket count, rung spawns, overflow peak);
+  /// deterministic, surfaced by sweep `--timing` footers.
+  const EventQueue::TierStats& queue_stats() const {
+    return queue_.tier_stats();
+  }
 
  private:
   void dispatch(EventQueue::Fired& fired);

@@ -7,8 +7,22 @@
 namespace ftgcs::sim {
 namespace {
 
-TEST(EventQueue, FiresInTimeOrder) {
-  EventQueue q;
+// Every queue-contract test runs against both backends: the ladder
+// (calendar) front-end must be observably indistinguishable from the
+// 4-ary-heap reference.
+class EventQueueTest : public ::testing::TestWithParam<QueueBackend> {
+ protected:
+  EventQueue q{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
+                         ::testing::Values(QueueBackend::kHeap,
+                                           QueueBackend::kLadder),
+                         [](const auto& info) {
+                           return std::string(queue_backend_name(info.param));
+                         });
+
+TEST_P(EventQueueTest, FiresInTimeOrder) {
   std::vector<int> order;
   q.schedule(3.0, [&] { order.push_back(3); });
   q.schedule(1.0, [&] { order.push_back(1); });
@@ -17,8 +31,7 @@ TEST(EventQueue, FiresInTimeOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, EqualTimesFireFifo) {
-  EventQueue q;
+TEST_P(EventQueueTest, EqualTimesFireFifo) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
     q.schedule(5.0, [&order, i] { order.push_back(i); });
@@ -27,8 +40,7 @@ TEST(EventQueue, EqualTimesFireFifo) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
-TEST(EventQueue, CancelPreventsFiring) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelPreventsFiring) {
   bool fired = false;
   const EventId id = q.schedule(1.0, [&] { fired = true; });
   EXPECT_TRUE(q.cancel(id));
@@ -36,28 +48,24 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueue, CancelIsIdempotent) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelIsIdempotent) {
   const EventId id = q.schedule(1.0, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
 
-TEST(EventQueue, CancelledHeadDoesNotBlockNextTime) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelledHeadDoesNotBlockNextTime) {
   const EventId early = q.schedule(1.0, [] {});
   q.schedule(2.0, [] {});
   q.cancel(early);
   EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
 }
 
-TEST(EventQueue, NextTimeOnEmptyIsInfinity) {
-  EventQueue q;
+TEST_P(EventQueueTest, NextTimeOnEmptyIsInfinity) {
   EXPECT_EQ(q.next_time(), kTimeInfinity);
 }
 
-TEST(EventQueue, SizeTracksLiveEvents) {
-  EventQueue q;
+TEST_P(EventQueueTest, SizeTracksLiveEvents) {
   const EventId a = q.schedule(1.0, [] {});
   q.schedule(2.0, [] {});
   EXPECT_EQ(q.size(), 2u);
@@ -67,16 +75,14 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, PopReturnsTimeAndId) {
-  EventQueue q;
+TEST_P(EventQueueTest, PopReturnsTimeAndId) {
   const EventId id = q.schedule(7.5, [] {});
   const auto fired = q.pop();
   EXPECT_DOUBLE_EQ(fired.at, 7.5);
   EXPECT_EQ(fired.id, id);
 }
 
-TEST(EventQueue, CancelAfterFireIsNoOp) {
-  EventQueue q;
+TEST_P(EventQueueTest, CancelAfterFireIsNoOp) {
   int fired = 0;
   const EventId id = q.schedule(1.0, [&] { ++fired; });
   q.schedule(2.0, [] {});
@@ -88,10 +94,9 @@ TEST(EventQueue, CancelAfterFireIsNoOp) {
   EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
 }
 
-TEST(EventQueue, SlotReuseInvalidatesOldIds) {
+TEST_P(EventQueueTest, SlotReuseInvalidatesOldIds) {
   // ABA guard: after an event fires, its pool slot is recycled; a handle
   // from the old generation must neither cancel nor alias the new event.
-  EventQueue q;
   const EventId old_id = q.schedule(1.0, [] {});
   q.pop();
   EXPECT_TRUE(q.empty());
@@ -108,8 +113,7 @@ TEST(EventQueue, SlotReuseInvalidatesOldIds) {
   EXPECT_TRUE(second_fired);
 }
 
-TEST(EventQueue, TypedEventsCarryPayloadAndFifoOrder) {
-  EventQueue q;
+TEST_P(EventQueueTest, TypedEventsCarryPayloadAndFifoOrder) {
   for (int i = 0; i < 5; ++i) {
     EventPayload payload;
     payload.a = i;
@@ -127,10 +131,9 @@ TEST(EventQueue, TypedEventsCarryPayloadAndFifoOrder) {
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, RescheduleMatchesCancelPlusScheduleOrder) {
+TEST_P(EventQueueTest, RescheduleMatchesCancelPlusScheduleOrder) {
   // A rescheduled event must tie-break as if it had been cancelled and
   // re-scheduled: after everything already sitting at the target time.
-  EventQueue q;
   EventPayload payload;
   payload.a = 1;
   const EventId moved = q.schedule_typed(9.0, EventKind::kTimer, 0, payload);
@@ -141,18 +144,16 @@ TEST(EventQueue, RescheduleMatchesCancelPlusScheduleOrder) {
   EXPECT_EQ(q.pop().payload.a, 1);  // the moved event fires after
 }
 
-TEST(EventQueue, RescheduleOfDeadIdFails) {
-  EventQueue q;
+TEST_P(EventQueueTest, RescheduleOfDeadIdFails) {
   const EventId id = q.schedule_typed(1.0, EventKind::kTimer, 0, {});
   q.pop();
   EXPECT_FALSE(q.reschedule(id, 2.0));
   EXPECT_TRUE(q.empty());
 }
 
-TEST(EventQueue, TypedPathDoesNotAllocateAfterWarmup) {
+TEST_P(EventQueueTest, TypedPathDoesNotAllocateAfterWarmup) {
   // Steady-state schedule/fire cycles must reuse pooled slots: the pool
   // high-water mark stays at the warm-up size.
-  EventQueue q;
   for (int i = 0; i < 64; ++i) {
     q.schedule_typed(static_cast<Time>(i), EventKind::kPulse, 0, {});
   }
@@ -166,8 +167,7 @@ TEST(EventQueue, TypedPathDoesNotAllocateAfterWarmup) {
   EXPECT_EQ(q.pool_size(), warm);
 }
 
-TEST(EventQueue, InterleavedScheduleCancelStress) {
-  EventQueue q;
+TEST_P(EventQueueTest, InterleavedScheduleCancelStress) {
   std::vector<EventId> ids;
   int fired = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -181,6 +181,144 @@ TEST(EventQueue, InterleavedScheduleCancelStress) {
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired + cancelled, 1000);
   EXPECT_EQ(cancelled, 334);
+}
+
+TEST_P(EventQueueTest, FireOnlyEventsInterleaveInFifoOrder) {
+  // Fire-only events share the sequence space with cancellable ones: at
+  // equal times they fire in exact scheduling order, and their Fired.id
+  // is the null id (there is nothing to cancel).
+  EventPayload payload;
+  payload.a = 1;
+  q.schedule_typed(5.0, EventKind::kTimer, 0, payload);
+  payload.a = 2;
+  q.schedule_fire_only(5.0, EventKind::kPulse, 3, payload);
+  payload.a = 3;
+  q.schedule_typed(5.0, EventKind::kTimer, 0, payload);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop().payload.a, 1);
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.payload.a, 2);
+  EXPECT_EQ(fired.kind, EventKind::kPulse);
+  EXPECT_EQ(fired.sink, 3u);
+  if (GetParam() == QueueBackend::kLadder) {
+    EXPECT_FALSE(fired.id);  // inline entries carry no handle
+  }
+  EXPECT_EQ(q.pop().payload.a, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueLadder, FireOnlyPathTouchesNoSlotPool) {
+  EventQueue q(QueueBackend::kLadder);
+  for (int i = 0; i < 100; ++i) {
+    q.schedule_fire_only(static_cast<Time>(i), EventKind::kPulse, 0, {});
+  }
+  EXPECT_EQ(q.pool_size(), 0u);  // no slot was ever acquired
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(q.pop().at, static_cast<Time>(i));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+// ---- ladder-specific behaviour ---------------------------------------------
+
+TEST(EventQueueLadder, FarFutureEventsCrossTheOverflowTier) {
+  // A population far beyond the first calendar window must survive the
+  // horizon rollover: the window drains, reseeds around the far cohort,
+  // and pops continue in exact order.
+  EventQueue q(QueueBackend::kLadder);
+  std::vector<double> expected;
+  for (int i = 0; i < 200; ++i) {
+    const double near = 1.0 + 0.01 * i;
+    EventPayload payload;
+    payload.x = near;
+    q.schedule_typed(near, EventKind::kTimer, 0, payload);
+    expected.push_back(near);
+  }
+  // First pop builds the window around the near cohort…
+  const auto first = q.pop();
+  EXPECT_DOUBLE_EQ(first.at, 1.0);
+  // …so the far cohort lands beyond its horizon, in the overflow tier,
+  // and draining the window must reseed a second one around it.
+  for (int i = 0; i < 200; ++i) {
+    const double far = 1e6 + 0.01 * (200 - i);
+    EventPayload payload;
+    payload.x = far;
+    q.schedule_typed(far, EventKind::kTimer, 0, payload);
+    expected.push_back(far);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(expected.begin());  // the one already popped
+  for (double t : expected) {
+    ASSERT_FALSE(q.empty());
+    const auto fired = q.pop();
+    EXPECT_DOUBLE_EQ(fired.at, t);
+    EXPECT_DOUBLE_EQ(fired.payload.x, t);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_GE(q.tier_stats().reseeds, 2u);
+  EXPECT_GT(q.tier_stats().overflow_peak, 0u);
+}
+
+TEST(EventQueueLadder, SkewedBucketSpawnsARung) {
+  // Thousands of events landing in one bucket (identical-ish times next to
+  // one far outlier that stretches the window) must trigger the rung split
+  // and still fire in FIFO order.
+  EventQueue q(QueueBackend::kLadder);
+  for (int i = 0; i < 6000; ++i) {
+    EventPayload payload;
+    payload.a = i;
+    q.schedule_typed(5.0 + 1e-7 * (i % 10), EventKind::kTimer, 0, payload);
+  }
+  q.schedule_typed(1e9, EventKind::kTimer, 0, {});
+  int last_tag[10] = {-1, -1, -1, -1, -1, -1, -1, -1, -1, -1};
+  for (int i = 0; i < 6000; ++i) {
+    const auto fired = q.pop();
+    const int lane = fired.payload.a % 10;
+    EXPECT_GT(fired.payload.a, last_tag[lane]);  // FIFO within equal times
+    last_tag[lane] = fired.payload.a;
+  }
+  EXPECT_DOUBLE_EQ(q.pop().at, 1e9);
+  EXPECT_GT(q.tier_stats().rung_spawns, 0u);
+}
+
+TEST_P(EventQueueTest, InfiniteTimesPopLastInFifoOrder) {
+  // kTimeInfinity is a legal scheduling time; it must sort after every
+  // finite event and FIFO among itself, on both backends (the ladder's
+  // window math clamps infinite offsets into the last bucket).
+  EventPayload payload;
+  payload.a = 1;
+  q.schedule_typed(kTimeInfinity, EventKind::kTimer, 0, payload);
+  payload.a = 2;
+  q.schedule_typed(3.0, EventKind::kTimer, 0, payload);
+  payload.a = 3;
+  q.schedule_typed(kTimeInfinity, EventKind::kTimer, 0, payload);
+  payload.a = 4;
+  q.schedule_typed(1.0, EventKind::kTimer, 0, payload);
+  EXPECT_EQ(q.pop().payload.a, 4);
+  // Schedule more finite work after a pop (the ladder has a window now).
+  payload.a = 5;
+  q.schedule_typed(7.0, EventKind::kTimer, 0, payload);
+  EXPECT_EQ(q.pop().payload.a, 2);
+  EXPECT_EQ(q.pop().payload.a, 5);
+  const auto first_inf = q.pop();
+  EXPECT_EQ(first_inf.payload.a, 1);
+  EXPECT_EQ(first_inf.at, kTimeInfinity);
+  EXPECT_EQ(q.pop().payload.a, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueLadder, IdenticalTimestampsDegenerateWindow) {
+  // Zero time span: the width floor keeps indices finite and order FIFO.
+  EventQueue q(QueueBackend::kLadder);
+  for (int i = 0; i < 300; ++i) {
+    EventPayload payload;
+    payload.a = i;
+    q.schedule_typed(42.0, EventKind::kTimer, 0, payload);
+  }
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(q.pop().payload.a, i);
+  }
+  EXPECT_TRUE(q.empty());
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// Randomized differential test: the heap and ladder backends must pop the
+// exact same (time, seq, payload) sequence under any interleaving of
+// schedule / cancel / reschedule / pop.
+//
+// One RNG decides an op stream that is executed against both queues in
+// lockstep. The time distribution is deliberately nasty for a calendar
+// queue: dense near-future clusters (many events per bucket → rung
+// spawns), far-future spikes (overflow tier + horizon rollovers when the
+// window reseeds past them), exact ties (FIFO order), and occasional times
+// below the last popped time (the drain-bucket clamp path). Pop bursts
+// drag the window across many bucket-width boundaries and reseeds.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace ftgcs::sim {
+namespace {
+
+struct Pair {
+  EventId heap_id;
+  EventId ladder_id;
+};
+
+class Differ {
+ public:
+  Differ() : heap_(QueueBackend::kHeap), ladder_(QueueBackend::kLadder) {}
+
+  void schedule(Time t, std::int32_t tag) {
+    EventPayload payload;
+    payload.a = tag;
+    payload.x = t;
+    Pair pair;
+    pair.heap_id = heap_.schedule_typed(t, EventKind::kTimer, 0, payload);
+    pair.ladder_id = ladder_.schedule_typed(t, EventKind::kTimer, 0, payload);
+    live_.push_back(pair);
+    check_sizes();
+  }
+
+  /// Fire-only events (inline payload on the ladder backend) interleave
+  /// with cancellable ones in the same (time, seq) order space.
+  void schedule_fire_only(Time t, std::int32_t tag) {
+    EventPayload payload;
+    payload.a = tag;
+    payload.x = t;
+    heap_.schedule_fire_only(t, EventKind::kPulse, 0, payload);
+    ladder_.schedule_fire_only(t, EventKind::kPulse, 0, payload);
+    check_sizes();
+  }
+
+  void cancel(std::size_t index) {
+    const Pair pair = take(index);
+    const bool a = heap_.cancel(pair.heap_id);
+    const bool b = ladder_.cancel(pair.ladder_id);
+    ASSERT_EQ(a, b);
+    check_sizes();
+  }
+
+  void reschedule(std::size_t index, Time t) {
+    const Pair& pair = live_[index];
+    const bool a = heap_.reschedule(pair.heap_id, t);
+    const bool b = ladder_.reschedule(pair.ladder_id, t);
+    ASSERT_EQ(a, b);
+    check_sizes();
+  }
+
+  /// Pops one event from both queues and asserts identical observations.
+  /// Returns the popped time so the driver can track "now".
+  Time pop() {
+    EXPECT_FALSE(heap_.empty());
+    EXPECT_FALSE(ladder_.empty());
+    const auto a = heap_.pop();
+    const auto b = ladder_.pop();
+    EXPECT_EQ(a.at, b.at);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.payload.a, b.payload.a);
+    EXPECT_EQ(a.payload.x, b.payload.x);
+    // The popped event's ids become stale in both queues; drop the pair.
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].heap_id == a.id) {
+        live_[i] = live_.back();
+        live_.pop_back();
+        break;
+      }
+    }
+    check_sizes();
+    return a.at;
+  }
+
+  void check_next_time() { EXPECT_EQ(heap_.next_time(), ladder_.next_time()); }
+
+  std::size_t live_count() const { return live_.size(); }
+  bool empty() const { return heap_.empty(); }
+  const EventQueue& ladder() const { return ladder_; }
+
+ private:
+  Pair take(std::size_t index) {
+    const Pair pair = live_[index];
+    live_[index] = live_.back();
+    live_.pop_back();
+    return pair;
+  }
+
+  void check_sizes() {
+    ASSERT_EQ(heap_.size(), ladder_.size());
+    ASSERT_EQ(heap_.empty(), ladder_.empty());
+  }
+
+  EventQueue heap_;
+  EventQueue ladder_;
+  std::vector<Pair> live_;
+};
+
+/// Draws a scheduling time around `now` from a mixture built to cross
+/// every tier boundary of the ladder backend.
+Time draw_time(Rng& rng, Time now) {
+  const double pick = rng.next_double();
+  if (pick < 0.35) return now + rng.next_double();            // near future
+  if (pick < 0.55) return now + 0.5;                          // exact ties
+  if (pick < 0.70) return now + rng.next_double() * 1e-6;     // dense cluster
+  if (pick < 0.80) return now + 100.0 + rng.next_double();    // mid horizon
+  if (pick < 0.90) return now + 1e5 * (1.0 + rng.next_double());  // far spike
+  // Slightly below the frontier: by the time this fires, pops may have
+  // advanced past it — the drain-bucket clamp path.
+  return now * (1.0 - 1e-9 * rng.next_double());
+}
+
+TEST(QueueDifferential, RandomOpStreamPopsIdentically) {
+  Rng rng(2024);
+  Differ d;
+  Time now = 0.0;
+  std::uint64_t popped = 0;
+  for (int op = 0; op < 25000; ++op) {
+    const double pick = rng.next_double();
+    if (pick < 0.30 || d.live_count() == 0) {
+      d.schedule(draw_time(rng, now), op);
+    } else if (pick < 0.45) {
+      d.schedule_fire_only(draw_time(rng, now), op);
+    } else if (pick < 0.58) {
+      d.cancel(rng.below(d.live_count()));
+    } else if (pick < 0.72) {
+      d.reschedule(rng.below(d.live_count()),
+                   draw_time(rng, now));
+    } else if (pick < 0.75) {
+      // Pop burst: drain a chunk so the window sweeps whole bucket ranges
+      // and occasionally empties entirely (reseed from the overflow tier).
+      const int burst = 1 + static_cast<int>(rng.below(200));
+      for (int i = 0; i < burst && !d.empty(); ++i) now = d.pop(), ++popped;
+    } else if (pick < 0.78) {
+      // Schedule burst into one microsecond-wide cluster while far spikes
+      // stretch the window: piles >64 events into one bucket, which must
+      // split into a rung on drain.
+      const Time cluster = now + 50.0 + rng.next_double();
+      for (int i = 0; i < 100; ++i) {
+        if (i % 2 == 0) {
+          d.schedule(cluster + 1e-6 * rng.next_double(), op * 1000 + i);
+        } else {
+          d.schedule_fire_only(cluster + 1e-6 * rng.next_double(),
+                               op * 1000 + i);
+        }
+      }
+    } else if (pick < 0.98) {
+      if (!d.empty()) now = d.pop(), ++popped;
+    } else {
+      d.check_next_time();
+    }
+  }
+  while (!d.empty()) now = d.pop(), ++popped;
+  EXPECT_EQ(d.live_count(), 0u);
+  EXPECT_GT(popped, 20000u);
+  // The stream must actually have exercised every ladder tier.
+  const auto& stats = d.ladder().tier_stats();
+  EXPECT_GT(stats.reseeds, 1u);
+  EXPECT_GT(stats.rung_spawns, 0u);
+  EXPECT_GT(stats.overflow_peak, 0u);
+}
+
+TEST(QueueDifferential, MonotoneSimulationShapedStream) {
+  // The simulator-shaped workload: times only in [now, now + horizon],
+  // reschedules dominate (timer re-aim), pops advance now monotonically.
+  Rng rng(7);
+  Differ d;
+  Time now = 0.0;
+  for (int round = 0; round < 2000; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      d.schedule(now + 0.9 + 0.2 * rng.next_double(), round * 8 + i);
+    }
+    for (int i = 0; i < 4 && d.live_count() > 0; ++i) {
+      d.reschedule(rng.below(d.live_count()),
+                   now + 0.9 + 0.2 * rng.next_double());
+    }
+    for (int i = 0; i < 8 && !d.empty(); ++i) now = d.pop();
+  }
+  while (!d.empty()) now = d.pop();
+  EXPECT_EQ(d.live_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ftgcs::sim

@@ -1,0 +1,164 @@
+// minibench — a small, API-compatible subset of Google Benchmark.
+//
+// Why this exists: the committed BENCH_kernel.json must come from a
+// benchmark library that was genuinely built in Release (micro_kernel
+// refuses to publish otherwise), but not every box has a Release
+// google-benchmark or the sources + network to build one. This shim is
+// compiled as part of this repo — so -DCMAKE_BUILD_TYPE=Release makes the
+// *library* Release by construction — and implements exactly the surface
+// bench/micro_kernel.cpp uses:
+//
+//   * BENCHMARK(fn) registration with ->Arg(n) chaining
+//   * State: range(0), iterations(), PauseTiming/ResumeTiming,
+//     SetItemsProcessed, counters (Counter::kIsRate), `for (auto _ : state)`
+//   * Initialize / ReportUnrecognizedArguments / RunSpecifiedBenchmarks /
+//     Shutdown
+//   * flags: --benchmark_filter, --benchmark_repetitions,
+//     --benchmark_report_aggregates_only, --benchmark_min_time,
+//     --benchmark_out, --benchmark_out_format=json
+//   * console table + google-benchmark-shaped JSON (context incl.
+//     library_build_type, per-run and mean/median/stddev/cv aggregates)
+//
+// It is NOT a general replacement: single-threaded, no fixtures, no
+// templated benchmarks, no complexity analysis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+/// User counter; kIsRate divides by the measured real time on report.
+struct Counter {
+  enum Flags : std::uint32_t { kDefaults = 0, kIsRate = 1 };
+
+  double value = 0.0;
+  std::uint32_t flags = kDefaults;
+
+  Counter() = default;
+  Counter(double v, std::uint32_t f = kDefaults) : value(v), flags(f) {}
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
+class State {
+ public:
+  State(std::size_t max_iterations, const std::vector<std::int64_t>& args)
+      : max_iterations_(max_iterations), args_(args) {}
+
+  std::int64_t range(std::size_t index = 0) const { return args_[index]; }
+  std::size_t iterations() const { return max_iterations_; }
+
+  void PauseTiming();
+  void ResumeTiming();
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+
+  UserCounters counters;
+
+  // ---- `for (auto _ : state)` protocol --------------------------------------
+  struct Value {
+    // Non-trivial ctor+dtor: `for (auto _ : state)` must not trip
+    // -Wunused-but-set-variable on the unused loop variable.
+    Value() {}
+    ~Value() {}
+  };
+  struct iterator {
+    State* state;
+    std::size_t remaining;
+
+    Value operator*() const { return Value(); }
+    iterator& operator++() {
+      --remaining;
+      return *this;
+    }
+    bool operator!=(const iterator&) {
+      if (remaining != 0) return true;
+      state->finish();
+      return false;
+    }
+  };
+  iterator begin() {
+    start();
+    return iterator{this, max_iterations_};
+  }
+  iterator end() { return iterator{this, 0}; }
+
+  // Measured by the runner after the loop finishes.
+  double real_ns() const { return real_ns_; }
+  double cpu_ns() const { return cpu_ns_; }
+
+ private:
+  void start();
+  void finish();
+
+  std::size_t max_iterations_;
+  std::vector<std::int64_t> args_;
+  std::int64_t items_processed_ = 0;
+  double real_start_ = 0.0;
+  double cpu_start_ = 0.0;
+  double paused_real_ = 0.0;
+  double paused_cpu_ = 0.0;
+  double pause_real_start_ = 0.0;
+  double pause_cpu_start_ = 0.0;
+  double real_ns_ = 0.0;
+  double cpu_ns_ = 0.0;
+};
+
+namespace internal {
+
+using Function = void (*)(State&);
+
+/// Registration handle; Arg() appends one instance per value.
+class Benchmark {
+ public:
+  Benchmark(std::string name, Function fn);
+  Benchmark* Arg(std::int64_t value);
+
+  const std::string& name() const { return name_; }
+  Function fn() const { return fn_; }
+  const std::vector<std::int64_t>& args() const { return args_; }
+
+ private:
+  std::string name_;
+  Function fn_;
+  std::vector<std::int64_t> args_;  ///< empty → one instance, no suffix
+};
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function fn);
+
+}  // namespace internal
+
+template <class T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+template <class T>
+inline void DoNotOptimize(T& value) {
+  asm volatile("" : "+r,m"(value) : : "memory");
+}
+
+void Initialize(int* argc, char** argv);
+bool ReportUnrecognizedArguments(int argc, char** argv);
+std::size_t RunSpecifiedBenchmarks();
+void Shutdown();
+
+}  // namespace benchmark
+
+#define MINIBENCH_CONCAT2(a, b) a##b
+#define MINIBENCH_CONCAT(a, b) MINIBENCH_CONCAT2(a, b)
+#define BENCHMARK(fn)                                            \
+  static ::benchmark::internal::Benchmark* MINIBENCH_CONCAT(     \
+      minibench_registration_, __LINE__) =                       \
+      ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#define BENCHMARK_MAIN()                                  \
+  int main(int argc, char** argv) {                       \
+    ::benchmark::Initialize(&argc, argv);                 \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                \
+    ::benchmark::Shutdown();                              \
+    return 0;                                             \
+  }

@@ -1,0 +1,426 @@
+// minibench implementation — see benchmark/benchmark.h for scope.
+#include "benchmark/benchmark.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <regex>
+#include <thread>
+
+namespace benchmark {
+
+namespace {
+
+double now_real_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1e9 + ts.tv_nsec;
+}
+
+double now_cpu_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return ts.tv_sec * 1e9 + ts.tv_nsec;
+}
+
+struct Flags {
+  std::string filter;
+  int repetitions = 1;
+  bool aggregates_only = false;
+  double min_time = 0.5;  // seconds, google-benchmark's default
+  std::string out_path;
+  std::string out_format = "json";
+};
+
+Flags flags;
+std::string executable_name = "micro_kernel";
+
+std::vector<internal::Benchmark*>& registry() {
+  static std::vector<internal::Benchmark*> benchmarks;
+  return benchmarks;
+}
+
+/// One measured repetition of one benchmark instance.
+struct Measurement {
+  std::size_t iterations = 0;
+  double real_ns = 0.0;  ///< per iteration
+  double cpu_ns = 0.0;   ///< per iteration
+  double items_per_second = 0.0;
+  UserCounters counters;  ///< rates already resolved to per-second values
+};
+
+/// One runnable (benchmark, arg) pair.
+struct Instance {
+  std::string name;  ///< display name, e.g. "BM_X/4096"
+  internal::Function fn;
+  std::vector<std::int64_t> args;
+};
+
+Measurement run_once(const Instance& instance) {
+  const double min_time_ns = flags.min_time * 1e9;
+  std::size_t iterations = 1;
+  for (;;) {
+    State state(iterations, instance.args);
+    instance.fn(state);
+    if (state.real_ns() >= min_time_ns || iterations >= 1000000000u) {
+      Measurement m;
+      m.iterations = iterations;
+      m.real_ns = state.real_ns() / static_cast<double>(iterations);
+      m.cpu_ns = state.cpu_ns() / static_cast<double>(iterations);
+      const double real_seconds = state.real_ns() * 1e-9;
+      if (real_seconds > 0.0 && state.items_processed() > 0) {
+        m.items_per_second =
+            static_cast<double>(state.items_processed()) / real_seconds;
+      }
+      for (const auto& [name, counter] : state.counters) {
+        Counter resolved = counter;
+        if ((counter.flags & Counter::kIsRate) != 0 && real_seconds > 0.0) {
+          resolved.value = counter.value / real_seconds;
+          resolved.flags = Counter::kDefaults;
+        }
+        m.counters[name] = resolved;
+      }
+      return m;
+    }
+    // Scale towards min_time with head-room, like google-benchmark's
+    // multiplier, capped at 10x per step.
+    const double scale =
+        std::min(10.0, 1.4 * min_time_ns / std::max(1.0, state.real_ns()));
+    iterations = std::max(iterations + 1,
+                          static_cast<std::size_t>(iterations * scale));
+  }
+}
+
+double mean_of(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median_of(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return n % 2 == 1 ? values[n / 2]
+                    : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double stddev_of(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = mean_of(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - mean) * (v - mean);
+  return std::sqrt(sum / static_cast<double>(values.size() - 1));
+}
+
+/// A reported row (single repetition or aggregate).
+struct Row {
+  std::string name;
+  std::string run_name;
+  std::string run_type;        ///< "iteration" | "aggregate"
+  std::string aggregate_name;  ///< mean | median | stddev | cv (aggregates)
+  std::string aggregate_unit = "time";
+  int repetitions = 1;
+  std::size_t iterations = 0;
+  double real_ns = 0.0;
+  double cpu_ns = 0.0;
+  double items_per_second = 0.0;
+  UserCounters counters;
+};
+
+std::vector<Row> rows_for(const Instance& instance,
+                          const std::vector<Measurement>& reps) {
+  std::vector<Row> rows;
+  const int n = static_cast<int>(reps.size());
+  if (!flags.aggregates_only || n == 1) {
+    for (const Measurement& m : reps) {
+      Row row;
+      row.name = instance.name;
+      row.run_name = instance.name;
+      row.run_type = "iteration";
+      row.repetitions = n;
+      row.iterations = m.iterations;
+      row.real_ns = m.real_ns;
+      row.cpu_ns = m.cpu_ns;
+      row.items_per_second = m.items_per_second;
+      row.counters = m.counters;
+      rows.push_back(std::move(row));
+    }
+  }
+  if (n <= 1) return rows;
+
+  const auto collect = [&](auto getter) {
+    std::vector<double> values;
+    values.reserve(reps.size());
+    for (const Measurement& m : reps) values.push_back(getter(m));
+    return values;
+  };
+  const std::vector<double> real = collect([](const auto& m) { return m.real_ns; });
+  const std::vector<double> cpu = collect([](const auto& m) { return m.cpu_ns; });
+  const std::vector<double> ips =
+      collect([](const auto& m) { return m.items_per_second; });
+
+  const std::vector<std::pair<std::string, double (*)(const std::vector<double>&)>>
+      aggregates = {
+          {"mean", +[](const std::vector<double>& v) { return mean_of(v); }},
+          {"median", +[](const std::vector<double>& v) { return median_of(v); }},
+          {"stddev", +[](const std::vector<double>& v) { return stddev_of(v); }},
+          {"cv",
+           +[](const std::vector<double>& v) {
+             const double mean = mean_of(v);
+             return mean != 0.0 ? stddev_of(v) / mean : 0.0;
+           }},
+      };
+  for (const auto& [agg_name, reduce] : aggregates) {
+    Row row;
+    row.name = instance.name + "_" + agg_name;
+    row.run_name = instance.name;
+    row.run_type = "aggregate";
+    row.aggregate_name = agg_name;
+    row.aggregate_unit = agg_name == "cv" ? "percentage" : "time";
+    row.repetitions = n;
+    row.iterations = reps.size();
+    row.real_ns = reduce(real);
+    row.cpu_ns = reduce(cpu);
+    row.items_per_second = reduce(ips);
+    // Aggregate user counters the same way.
+    for (const auto& [cname, counter] : reps.front().counters) {
+      std::vector<double> values;
+      for (const Measurement& m : reps) {
+        const auto it = m.counters.find(cname);
+        values.push_back(it != m.counters.end() ? it->second.value : 0.0);
+      }
+      row.counters[cname] = Counter(reduce(values));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void print_console(const std::vector<Row>& rows) {
+  std::size_t width = 30;
+  for (const Row& row : rows) width = std::max(width, row.name.size() + 2);
+  std::printf("%-*s %15s %15s %12s %14s\n", static_cast<int>(width),
+              "Benchmark", "Time", "CPU", "Iterations", "items/s");
+  for (std::size_t i = 0; i < width + 60; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+  for (const Row& row : rows) {
+    std::printf("%-*s %12.1f ns %12.1f ns %12zu %14.4g\n",
+                static_cast<int>(width), row.name.c_str(), row.real_ns,
+                row.cpu_ns, row.iterations, row.items_per_second);
+  }
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void write_json(const std::vector<Row>& rows, std::ostream& os) {
+  char date[64];
+  std::time_t now = std::time(nullptr);
+  std::strftime(date, sizeof date, "%FT%T%z", std::localtime(&now));
+  char host[256] = "unknown";
+  gethostname(host, sizeof host - 1);
+
+  os << "{\n  \"context\": {\n";
+  os << "    \"date\": \"" << date << "\",\n";
+  os << "    \"host_name\": \"" << json_escape(host) << "\",\n";
+  os << "    \"executable\": \"" << json_escape(executable_name) << "\",\n";
+  os << "    \"num_cpus\": "
+     << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  os << "    \"mhz_per_cpu\": 0,\n";
+  os << "    \"cpu_scaling_enabled\": false,\n";
+  os << "    \"caches\": [],\n";
+  os << "    \"benchmark_library\": \"minibench (in-repo google-benchmark "
+        "subset)\",\n";
+#ifdef NDEBUG
+  os << "    \"library_build_type\": \"release\"\n";
+#else
+  os << "    \"library_build_type\": \"debug\"\n";
+#endif
+  os << "  },\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << json_escape(row.name) << "\",\n";
+    os << "      \"family_index\": " << i << ",\n";
+    os << "      \"per_family_instance_index\": 0,\n";
+    os << "      \"run_name\": \"" << json_escape(row.run_name) << "\",\n";
+    os << "      \"run_type\": \"" << row.run_type << "\",\n";
+    os << "      \"repetitions\": " << row.repetitions << ",\n";
+    os << "      \"threads\": 1,\n";
+    if (row.run_type == "aggregate") {
+      os << "      \"aggregate_name\": \"" << row.aggregate_name << "\",\n";
+      os << "      \"aggregate_unit\": \"" << row.aggregate_unit << "\",\n";
+    }
+    os << "      \"iterations\": " << row.iterations << ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", row.real_ns);
+    os << "      \"real_time\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.17g", row.cpu_ns);
+    os << "      \"cpu_time\": " << buf << ",\n";
+    os << "      \"time_unit\": \"ns\"";
+    for (const auto& [name, counter] : row.counters) {
+      std::snprintf(buf, sizeof buf, "%.17g", counter.value);
+      os << ",\n      \"" << json_escape(name) << "\": " << buf;
+    }
+    if (row.items_per_second > 0.0) {
+      std::snprintf(buf, sizeof buf, "%.17g", row.items_per_second);
+      os << ",\n      \"items_per_second\": " << buf;
+    }
+    os << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+// ---- State ------------------------------------------------------------------
+
+void State::start() {
+  paused_real_ = 0.0;
+  paused_cpu_ = 0.0;
+  real_start_ = now_real_ns();
+  cpu_start_ = now_cpu_ns();
+}
+
+void State::finish() {
+  real_ns_ = now_real_ns() - real_start_ - paused_real_;
+  cpu_ns_ = now_cpu_ns() - cpu_start_ - paused_cpu_;
+}
+
+void State::PauseTiming() {
+  pause_real_start_ = now_real_ns();
+  pause_cpu_start_ = now_cpu_ns();
+}
+
+void State::ResumeTiming() {
+  paused_real_ += now_real_ns() - pause_real_start_;
+  paused_cpu_ += now_cpu_ns() - pause_cpu_start_;
+}
+
+// ---- registration -----------------------------------------------------------
+
+namespace internal {
+
+Benchmark::Benchmark(std::string name, Function fn)
+    : name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::Arg(std::int64_t value) {
+  args_.push_back(value);
+  return this;
+}
+
+Benchmark* RegisterBenchmarkInternal(const char* name, Function fn) {
+  registry().push_back(new Benchmark(name, fn));
+  return registry().back();
+}
+
+}  // namespace internal
+
+// ---- driver -----------------------------------------------------------------
+
+void Initialize(int* argc, char** argv) {
+  if (*argc > 0) executable_name = argv[0];
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const std::string arg = argv[read];
+    const auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return arg.compare(0, len, prefix) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_filter=")) {
+      flags.filter = v;
+    } else if (const char* v = value_of("--benchmark_repetitions=")) {
+      flags.repetitions = std::max(1, std::atoi(v));
+    } else if (const char* v = value_of("--benchmark_report_aggregates_only=")) {
+      flags.aggregates_only =
+          std::strcmp(v, "true") == 0 || std::strcmp(v, "1") == 0;
+    } else if (const char* v = value_of("--benchmark_min_time=")) {
+      flags.min_time = std::atof(v);
+    } else if (const char* v = value_of("--benchmark_out=")) {
+      flags.out_path = v;
+    } else if (const char* v = value_of("--benchmark_out_format=")) {
+      flags.out_format = v;
+    } else {
+      argv[write++] = argv[read];  // leave for ReportUnrecognizedArguments
+      continue;
+    }
+  }
+  *argc = write;
+}
+
+bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "%s: error: unrecognized command-line flag: %s\n",
+                 executable_name.c_str(), argv[i]);
+  }
+  return argc > 1;
+}
+
+std::size_t RunSpecifiedBenchmarks() {
+  // Expand registrations into instances (one per Arg, or one bare).
+  std::vector<Instance> instances;
+  for (const internal::Benchmark* bench : registry()) {
+    if (bench->args().empty()) {
+      instances.push_back({bench->name(), bench->fn(), {}});
+    } else {
+      for (std::int64_t arg : bench->args()) {
+        instances.push_back({bench->name() + "/" + std::to_string(arg),
+                             bench->fn(),
+                             {arg}});
+      }
+    }
+  }
+  if (!flags.filter.empty()) {
+    const std::regex pattern(flags.filter);
+    std::vector<Instance> kept;
+    for (const Instance& instance : instances) {
+      if (std::regex_search(instance.name, pattern)) kept.push_back(instance);
+    }
+    instances = std::move(kept);
+  }
+
+  std::vector<Row> all_rows;
+  for (const Instance& instance : instances) {
+    std::vector<Measurement> reps;
+    reps.reserve(static_cast<std::size_t>(flags.repetitions));
+    for (int r = 0; r < flags.repetitions; ++r) {
+      reps.push_back(run_once(instance));
+    }
+    const std::vector<Row> rows = rows_for(instance, reps);
+    all_rows.insert(all_rows.end(), rows.begin(), rows.end());
+  }
+
+  print_console(all_rows);
+  if (!flags.out_path.empty()) {
+    if (flags.out_format != "json") {
+      std::fprintf(stderr,
+                   "minibench: only --benchmark_out_format=json is "
+                   "supported (got '%s')\n",
+                   flags.out_format.c_str());
+      std::exit(1);
+    }
+    std::ofstream os(flags.out_path);
+    if (!os) {
+      std::fprintf(stderr, "minibench: cannot write %s\n",
+                   flags.out_path.c_str());
+      std::exit(1);
+    }
+    write_json(all_rows, os);
+  }
+  return instances.size();
+}
+
+void Shutdown() {}
+
+}  // namespace benchmark
