@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -247,6 +248,121 @@ BENCHMARK(BM_EventEngineDeepPopulationLadder)
 
 // ---- protocol kernels -------------------------------------------------------
 
+// Columnar dispatch kernel: per-delivery classification + lane routing
+// through NodeTable::on_pulse_run. Senders mix own-cluster members (lane
+// 0 hit) and adjacent-cluster members (replica-lane scan), mirroring the
+// augmented-graph traffic. NOTE on what is measured: arrival slots fill
+// on the first lap and are not reset, so steady state exercises the
+// routing chain + duplicate-reject early-out — i.e. the DISPATCH
+// overhead bound per delivery, not the slot-write body (that is covered
+// end-to-end by BM_SystemTorusThroughput*). Items are deliveries/second.
+void BM_NodeTablePulseRun(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 12;
+  core::FtGcsSystem system(net::Graph::torus(8, 8), std::move(config));
+  system.start();
+  system.run_until(1.0 * params.T);
+  std::vector<sim::BatchedEvent> run;
+  const auto& topo = system.topology();
+  const sim::Time now = system.simulator().now();
+  for (int dest = 0; dest < topo.num_nodes() && run.size() < 1024; ++dest) {
+    for (int sender : system.network().neighbors(dest)) {
+      sim::BatchedEvent event;
+      event.at = now;
+      event.payload.a = sender;
+      event.payload.c = dest;
+      event.payload.d =
+          static_cast<std::uint32_t>(net::PulseKind::kClusterPulse);
+      run.push_back(event);
+    }
+  }
+  for (auto _ : state) {
+    system.node_table().on_pulse_run(run.data(), run.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(run.size()));
+}
+BENCHMARK(BM_NodeTablePulseRun);
+
+// Stale-level classification kernel: the batch predicate that decides, at
+// pop time, whether a pulse event is a pure receive. This gate runs once
+// per delivery at 40k-node scale, so its cost is throughput-critical.
+void BM_NodeTablePurePulse(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 13;
+  core::FtGcsSystem system(net::Graph::torus(8, 8), std::move(config));
+  system.start();
+  system.run_until(2.0 * params.T);
+  const core::NodeTable& table = system.node_table();
+  std::vector<sim::EventPayload> payloads;
+  sim::Rng rng(14);
+  for (int i = 0; i < 1024; ++i) {
+    sim::EventPayload payload;
+    payload.a = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(system.topology().num_nodes())));
+    payload.c = static_cast<std::int32_t>(
+        rng.below(static_cast<std::uint64_t>(system.topology().num_nodes())));
+    payload.b = static_cast<std::int32_t>(rng.below(8));
+    payload.d = static_cast<std::uint32_t>(
+        rng.chance(0.8) ? net::PulseKind::kMaxLevel
+                        : net::PulseKind::kClusterPulse);
+    payloads.push_back(payload);
+  }
+  std::uint64_t accepted = 0;
+  for (auto _ : state) {
+    for (const sim::EventPayload& payload : payloads) {
+      accepted += core::NodeTable::pure_pulse(payload, &table) ? 1 : 0;
+    }
+  }
+  benchmark::DoNotOptimize(accepted);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_NodeTablePurePulse);
+
+// Full protocol throughput on the torus fabric (replica estimates + level
+// traffic + columnar dispatch) — the shape of the `large_torus` scaling
+// workload, sized for a microbenchmark. Arg is the torus side (side²
+// clusters, 4·side² nodes).
+void SystemTorusThroughput(benchmark::State& state,
+                           sim::QueueBackend backend) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  const int side = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 15;
+    config.engine = backend;
+    auto system = std::make_unique<core::FtGcsSystem>(
+        net::Graph::torus(side, side), std::move(config));
+    system->start();
+    state.ResumeTiming();
+    system->run_until(5.0 * params.T);
+    events += system->simulator().fired_events();
+    // Teardown (nodes, replicas, queue, network) is not protocol
+    // throughput; destroy with the clock paused.
+    state.PauseTiming();
+    system.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+void BM_SystemTorusThroughput(benchmark::State& state) {
+  SystemTorusThroughput(state, sim::QueueBackend::kHeap);
+}
+BENCHMARK(BM_SystemTorusThroughput)->Arg(4)->Arg(8);
+void BM_SystemTorusThroughputLadder(benchmark::State& state) {
+  SystemTorusThroughput(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_SystemTorusThroughputLadder)->Arg(4)->Arg(8);
+
 void BM_TriggerEvaluation(benchmark::State& state) {
   sim::Rng rng(3);
   std::vector<double> neighbors(state.range(0));
@@ -288,11 +404,15 @@ void SystemEventThroughput(benchmark::State& state,
     config.params = params;
     config.seed = 5;
     config.engine = backend;
-    core::FtGcsSystem system(net::Graph::line(clusters), std::move(config));
-    system.start();
+    auto system = std::make_unique<core::FtGcsSystem>(
+        net::Graph::line(clusters), std::move(config));
+    system->start();
     state.ResumeTiming();
-    system.run_until(5.0 * params.T);
-    events += system.simulator().fired_events();
+    system->run_until(5.0 * params.T);
+    events += system->simulator().fired_events();
+    state.PauseTiming();
+    system.reset();  // teardown excluded, as in the torus family
+    state.ResumeTiming();
   }
   state.SetItemsProcessed(static_cast<int64_t>(events));
   state.counters["events"] =

@@ -77,6 +77,29 @@ def main():
     def selected(run):
         return not prefixes or any(run.startswith(p) for p in prefixes)
 
+    # Every requested family prefix must exist in BOTH files: missing from
+    # the baseline means the committed BENCH_kernel.json predates the
+    # benchmark (or the prefix is a typo); missing from the fresh run
+    # means the benchmark was deleted/renamed while the guardrail still
+    # claims to cover it. Either way the comparison would silently check
+    # nothing for that family — fail with a clear pointer instead of a
+    # KeyError (or worse, a green run).
+    for label, path, rates in (("baseline", args.baseline, baseline),
+                               ("fresh run", args.fresh, fresh)):
+        missing = [p for p in prefixes
+                   if not any(run.startswith(p) for run in rates)]
+        if missing:
+            print("check_bench_regression: requested famil"
+                  f"{'y' if len(missing) == 1 else 'ies'} missing from "
+                  f"{label} {path}: {', '.join(missing)}", file=sys.stderr)
+            print(f"  {label} families present: "
+                  + (", ".join(sorted({r.split('/')[0] for r in rates}))
+                     or "(none)"), file=sys.stderr)
+            print("  refresh the baseline (see README 'Refreshing "
+                  "BENCH_kernel.json') or fix the --families list.",
+                  file=sys.stderr)
+            return 2
+
     shared = sorted(set(baseline) & set(fresh))
     checked = [r for r in shared if selected(r)]
     if not checked:

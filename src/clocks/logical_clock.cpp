@@ -35,6 +35,7 @@ void LogicalClock::set_delta(sim::Time now, double delta) {
   advance(now);
   delta_ = delta;
   recompute_rate(now);
+  publish();
 }
 
 void LogicalClock::set_gamma(sim::Time now, int gamma) {
@@ -43,6 +44,7 @@ void LogicalClock::set_gamma(sim::Time now, int gamma) {
   advance(now);
   gamma_ = gamma;
   recompute_rate(now);
+  publish();
 }
 
 void LogicalClock::set_hardware_rate(sim::Time now, double hrate) {
@@ -51,11 +53,13 @@ void LogicalClock::set_hardware_rate(sim::Time now, double hrate) {
   advance(now);
   hrate_ = hrate;
   recompute_rate(now);
+  publish();
 }
 
 void LogicalClock::jump(sim::Time now, double value) {
   advance(now);
   l0_ = value;
+  publish();
   if (observer_) observer_(now);
 }
 

@@ -17,6 +17,17 @@
 
 namespace ftgcs::clocks {
 
+/// Write-through copy of a clock's piecewise-linear segment (L(t) = l0 +
+/// rate·(t − t0)). A LogicalClock bound to a mirror republishes these three
+/// words after every factor change, so an external reader — the columnar
+/// node table's pulse-receive path — evaluates the clock with the exact
+/// arithmetic of LogicalClock::read() without touching the clock object.
+struct ClockMirror {
+  double l0 = 0.0;
+  sim::Time t0 = 0.0;
+  double rate = 0.0;
+};
+
 class LogicalClock {
  public:
   /// `phi` and `mu` are the constants of eq. (2); both fixed for the run.
@@ -59,9 +70,24 @@ class LogicalClock {
     observer_ = std::move(obs);
   }
 
+  /// Binds (or unbinds, with nullptr) the write-through mirror and
+  /// publishes the current segment immediately. The mirror must outlive
+  /// the binding.
+  void bind_mirror(ClockMirror* mirror) {
+    mirror_ = mirror;
+    publish();
+  }
+
  private:
   void advance(sim::Time now);
   void recompute_rate(sim::Time now);
+  void publish() {
+    if (mirror_ != nullptr) {
+      mirror_->l0 = l0_;
+      mirror_->t0 = t0_;
+      mirror_->rate = rate_;
+    }
+  }
 
   double phi_;
   double mu_;
@@ -73,6 +99,7 @@ class LogicalClock {
   double l0_;
   double rate_;
 
+  ClockMirror* mirror_ = nullptr;
   std::function<void(sim::Time)> observer_;
 };
 

@@ -32,14 +32,14 @@ void LogicalTimerSet::on_event(sim::EventKind kind,
                                sim::Time /*now*/) {
   FTGCS_ASSERT(kind == sim::EventKind::kTimer);
   const Key key = static_cast<Key>(payload.a);
-  FTGCS_ASSERT(key < pending_.size());
+  FTGCS_ASSERT(key < kMaxKeys);
   Pending& pending = pending_[key];
   FTGCS_ASSERT(pending.armed);
   pending.armed = false;  // disarm before firing so the fire may re-arm
   --armed_count_;
-  if (pending.fn) {
-    Callback fn = std::move(pending.fn);
-    pending.fn = nullptr;
+  if (key < fns_.size() && fns_[key]) {  // fns_ empty on the typed path
+    Callback fn = std::move(fns_[key]);
+    fns_[key] = nullptr;
     fn();
   } else {
     FTGCS_ASSERT(client_ != nullptr);
@@ -48,12 +48,11 @@ void LogicalTimerSet::on_event(sim::EventKind kind,
 }
 
 void LogicalTimerSet::arm(Key key, double logical_target) {
+  FTGCS_EXPECTS(key < kMaxKeys);
   cancel(key);
-  if (key >= pending_.size()) pending_.resize(key + 1);
   Pending& pending = pending_[key];
   pending.armed = true;
   pending.target = logical_target;
-  pending.fn = nullptr;
   pending.event = schedule_one(key, logical_target);
   ++armed_count_;
 }
@@ -61,7 +60,8 @@ void LogicalTimerSet::arm(Key key, double logical_target) {
 void LogicalTimerSet::arm(Key key, double logical_target, Callback fn) {
   FTGCS_EXPECTS(fn != nullptr);
   arm(key, logical_target);
-  pending_[key].fn = std::move(fn);
+  if (key >= fns_.size()) fns_.resize(key + 1);
+  fns_[key] = std::move(fn);
 }
 
 void LogicalTimerSet::cancel(Key key) {
@@ -69,13 +69,13 @@ void LogicalTimerSet::cancel(Key key) {
   Pending& pending = pending_[key];
   sim_.cancel(pending.event);
   pending.armed = false;
-  pending.fn = nullptr;
+  if (key < fns_.size()) fns_[key] = nullptr;
   --armed_count_;
 }
 
 void LogicalTimerSet::reschedule_all(sim::Time now) {
   (void)now;
-  for (Key key = 0; key < pending_.size(); ++key) {
+  for (Key key = 0; key < kMaxKeys; ++key) {
     Pending& pending = pending_[key];
     if (!pending.armed) continue;
     const sim::Time fire_at = clock_.when_reaches(pending.target, sim_.now());

@@ -16,6 +16,7 @@
 // tests and ad-hoc uses.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -64,9 +65,15 @@ class LogicalTimerSet final : public sim::EventSink {
   /// Cancels timer `key`; no-op if not armed. O(1).
   void cancel(Key key);
 
+  /// Largest supported key + 1. Keys are tiny dense protocol constants
+  /// (round-pulse / phase-2-end / round-end); a fixed inline array keeps
+  /// the whole timer family on the owning protocol object's cache lines —
+  /// no per-set heap block on the 3M-fires-per-second path.
+  static constexpr Key kMaxKeys = 4;
+
   /// True if timer `key` is armed.
   bool armed(Key key) const {
-    return key < pending_.size() && pending_[key].armed;
+    return key < kMaxKeys && pending_[key].armed;
   }
 
   std::size_t armed_count() const { return armed_count_; }
@@ -76,11 +83,14 @@ class LogicalTimerSet final : public sim::EventSink {
                 sim::Time now) override;
 
  private:
+  /// 24 bytes — a protocol's whole timer family (3 keys) shares one cache
+  /// line. Closures live in the parallel fns_ vector, which stays EMPTY
+  /// unless the legacy callback overload is used, so the typed fire path
+  /// never touches std::function storage.
   struct Pending {
     bool armed = false;
     double target = 0.0;
     sim::EventId event;
-    Callback fn;  ///< empty → typed dispatch to client_
   };
 
   void reschedule_all(sim::Time now);
@@ -90,7 +100,8 @@ class LogicalTimerSet final : public sim::EventSink {
   LogicalClock& clock_;
   Client* client_;
   sim::SinkId self_ = sim::kInvalidSink;
-  std::vector<Pending> pending_;  ///< indexed by key (keys are dense)
+  std::array<Pending, kMaxKeys> pending_{};  ///< indexed by key
+  std::vector<Callback> fns_;  ///< sized only by the callback overload
   std::size_t armed_count_ = 0;
 };
 

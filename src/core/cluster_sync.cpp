@@ -1,6 +1,7 @@
 #include "core/cluster_sync.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "support/assert.h"
 
@@ -25,8 +26,33 @@ ClusterSyncEngine::ClusterSyncEngine(sim::Simulator& simulator,
   if (!cfg.active) {
     FTGCS_EXPECTS(cfg.d > 0.0 && cfg.U >= 0.0 && cfg.U <= cfg.d);
   }
-  arrivals_.resize(static_cast<std::size_t>(cfg.k));
+  if (cfg.k <= ReceiveLane::kInlineArrivals) {
+    local_lane_.arrivals = local_lane_.inline_arrivals;
+    std::fill_n(local_lane_.arrivals, static_cast<std::size_t>(cfg.k),
+                kUnsetArrival);
+  } else {
+    local_arrivals_.resize(static_cast<std::size_t>(cfg.k), kUnsetArrival);
+    local_lane_.arrivals = local_arrivals_.data();
+  }
+  local_lane_.own_index = cfg.active ? own_index_ : -1;
+  clock_.bind_mirror(&local_lane_.clock);
   offsets_buf_.reserve(static_cast<std::size_t>(cfg.k));
+}
+
+void ClusterSyncEngine::adopt_lane(ReceiveLane* lane, double* arrivals) {
+  FTGCS_EXPECTS(round_ == 0);  // relocation only before the first round
+  FTGCS_EXPECTS(lane != nullptr);
+  FTGCS_EXPECTS(arrivals != nullptr ||
+                cfg_.k <= ReceiveLane::kInlineArrivals);
+  *lane = *lane_;
+  // Small clusters live in the lane's own second cache line; larger ones
+  // in the caller-provided external bank.
+  double* dst = arrivals != nullptr ? arrivals : lane->inline_arrivals;
+  std::memcpy(dst, lane_->arrivals,
+              static_cast<std::size_t>(cfg_.k) * sizeof(double));
+  lane->arrivals = dst;
+  lane_ = lane;
+  clock_.bind_mirror(&lane->clock);
 }
 
 void ClusterSyncEngine::start() {
@@ -34,12 +60,22 @@ void ClusterSyncEngine::start() {
   begin_round(cfg_.start_round);
 }
 
+void ClusterSyncEngine::halt() {
+  timers_.cancel(kPulseTimer);
+  timers_.cancel(kPhaseTwoEndTimer);
+  timers_.cancel(kRoundEndTimer);
+  sim_.cancel(pending_loopback_);
+  pending_loopback_ = sim::EventId{};
+  lane_->listening = 0;
+}
+
 void ClusterSyncEngine::begin_round(int r) {
   round_ = r;
   round_start_logical_ = (r - 1) * round_length();
-  listening_ = true;
-  std::fill(arrivals_.begin(), arrivals_.end(), std::nullopt);
-  own_arrival_.reset();
+  lane_->listening = 1;
+  std::fill_n(lane_->arrivals, static_cast<std::size_t>(cfg_.k),
+              kUnsetArrival);
+  lane_->own_arrival = kUnsetArrival;
 
   // Algorithm 1 line 3: δ_v ← 1 for phases 1 and 2.
   clock_.set_delta(sim_.now(), 1.0);
@@ -73,10 +109,10 @@ void ClusterSyncEngine::on_event(sim::EventKind kind,
                                  sim::Time now) {
   // Corollary 3.5: the passive observer's own simulated pulse arrives.
   FTGCS_ASSERT(kind == sim::EventKind::kPulse);
-  if (round_ == payload.a && listening_) {
-    own_arrival_ = clock_.read(now);
+  if (round_ == payload.a && lane_->listening) {
+    lane_->own_arrival = clock_.read(now);
   } else {
-    ++dropped_pulses_;
+    ++lane_->dropped;
   }
 }
 
@@ -89,27 +125,18 @@ void ClusterSyncEngine::pulse_instant(sim::Time now) {
         loopback_rng_.uniform(cfg_.d - cfg_.U, cfg_.d);
     sim::EventPayload payload;
     payload.a = round_;
-    sim_.post_after(delay, sim::EventKind::kPulse, self_, payload);
+    pending_loopback_ =
+        sim_.post_after(delay, sim::EventKind::kPulse, self_, payload);
   }
   // Active mode: the owner broadcasts in on_pulse; the physical loopback
-  // delivers to on_member_pulse(own_index_), which records own_arrival_.
+  // delivers to on_member_pulse(own_index_), which records own_arrival.
 }
 
 void ClusterSyncEngine::on_member_pulse(int member_index, sim::Time now) {
   FTGCS_EXPECTS(member_index >= 0 && member_index < cfg_.k);
-  if (round_ == 0 || !listening_) {
-    ++dropped_pulses_;
-    return;
-  }
-  auto& slot = arrivals_[static_cast<std::size_t>(member_index)];
-  if (slot.has_value()) {
-    ++duplicate_pulses_;
-    return;
-  }
-  slot = clock_.read(now);
-  if (cfg_.active && member_index == own_index_) {
-    own_arrival_ = slot;
-  }
+  // Before start() the lane is not listening, so pre-round pulses count as
+  // dropped exactly as they always did.
+  lane_receive(*lane_, member_index, now);
 }
 
 double ClusterSyncEngine::compute_correction() {
@@ -117,11 +144,13 @@ double ClusterSyncEngine::compute_correction() {
   // window — the latest moment they could still legitimately arrive.
   const double window_end =
       round_start_logical_ + cfg_.tau1 + cfg_.tau2;
-  const double own = own_arrival_.value_or(window_end);
+  const double own_slot = lane_->own_arrival;
+  const double own = own_slot == own_slot ? own_slot : window_end;
 
   offsets_buf_.clear();
-  for (const auto& arrival : arrivals_) {
-    offsets_buf_.push_back(arrival.value_or(window_end) - own);
+  for (int i = 0; i < cfg_.k; ++i) {
+    const double slot = lane_->arrivals[i];
+    offsets_buf_.push_back((slot == slot ? slot : window_end) - own);
   }
   std::sort(offsets_buf_.begin(), offsets_buf_.end());
   // ∆_v(r) = (S^(f+1) + S^(k−f)) / 2, 1-based order statistics.
@@ -132,10 +161,11 @@ double ClusterSyncEngine::compute_correction() {
 }
 
 void ClusterSyncEngine::end_phase_two(sim::Time now) {
-  listening_ = false;
+  lane_->listening = 0;
   int received = 0;
-  for (const auto& arrival : arrivals_) {
-    if (arrival.has_value()) ++received;
+  for (int i = 0; i < cfg_.k; ++i) {
+    const double slot = lane_->arrivals[i];
+    if (slot == slot) ++received;
   }
   if (received < cfg_.k - cfg_.f) ++starved_rounds_;
   const double raw = compute_correction();

@@ -35,11 +35,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <vector>
 
 #include "clocks/logical_clock.h"
 #include "clocks/logical_timer.h"
+#include "core/receive_lane.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -97,7 +97,7 @@ class ClusterSyncEngine final : public clocks::LogicalTimerSet::Client,
   int round() const { return round_; }
 
   /// True while in phases 1–2 of the current round (collecting pulses).
-  bool listening() const { return listening_; }
+  bool listening() const { return lane_->listening != 0; }
 
   /// Logical time at which the current round began: (r−1)·T (Lemma B.6).
   double round_start_logical() const { return round_start_logical_; }
@@ -122,9 +122,12 @@ class ClusterSyncEngine final : public clocks::LogicalTimerSet::Client,
 
   // ---- statistics ----------------------------------------------------------
   std::uint64_t violations() const { return violations_; }
-  std::uint64_t dropped_pulses() const { return dropped_pulses_; }
-  std::uint64_t duplicate_pulses() const { return duplicate_pulses_; }
+  std::uint64_t dropped_pulses() const { return lane_->dropped; }
+  std::uint64_t duplicate_pulses() const { return lane_->duplicates; }
   double last_correction() const { return last_correction_; }
+
+  /// Armed logical timers (diagnostics; 0 after halt()).
+  std::size_t armed_timers() const { return timers_.armed_count(); }
 
   /// Rounds that closed with fewer than k−f member pulses received: a
   /// correct, synchronized cluster always delivers at least k−f, so a
@@ -137,7 +140,26 @@ class ClusterSyncEngine final : public clocks::LogicalTimerSet::Client,
 
   /// Index of this node within the observed cluster (active mode only);
   /// set by the owner before start(). Passive mode ignores it.
-  void set_own_index(int index) { own_index_ = index; }
+  void set_own_index(int index) {
+    own_index_ = index;
+    if (cfg_.active) lane_->own_index = index;
+  }
+
+  /// Relocates the engine's hot receive state into externally owned
+  /// storage (the system's columnar NodeTable): current lane contents and
+  /// arrival slots are copied over, and the engine — and its clock mirror
+  /// — operate on the new location from here on. Must be called before
+  /// start(); the storage must outlive the engine.
+  void adopt_lane(ReceiveLane* lane, double* arrivals);
+
+  /// Read-only view of the hot receive state (diagnostics/tests).
+  const ReceiveLane& lane() const { return *lane_; }
+
+  /// Crash-stop: cancels all pending timers and the passive loopback in
+  /// flight and closes the collection window. After halt() the engine
+  /// schedules nothing and ignores every pulse (counted as dropped by the
+  /// dispatch layers); the logical clock stays readable.
+  void halt();
 
   /// FAULT-INJECTION HOOK (tests/experiments only): models a transient
   /// fault (bit flip, SEU) that corrupts the logical clock by `offset`.
@@ -180,17 +202,18 @@ class ClusterSyncEngine final : public clocks::LogicalTimerSet::Client,
   int own_index_ = 0;
   int round_ = 0;
   double round_start_logical_ = 0.0;
-  bool listening_ = false;
 
-  /// Logical arrival times of this round's pulses, indexed by member;
-  /// nullopt = not (yet) received.
-  std::vector<std::optional<double>> arrivals_;
-  std::optional<double> own_arrival_;  ///< L_v(t_vv)
-  std::vector<double> offsets_buf_;    ///< reused by compute_correction
+  /// Hot receive state (listening flag, clock mirror, arrival slots).
+  /// Points at local_lane_ until NodeTable adoption moves it into the
+  /// columnar bank; all engine code goes through this pointer.
+  ReceiveLane* lane_ = &local_lane_;
+  ReceiveLane local_lane_;
+  std::vector<double> local_arrivals_;
+
+  sim::EventId pending_loopback_{};  ///< passive simulated self-pulse
+  std::vector<double> offsets_buf_;  ///< reused by compute_correction
 
   std::uint64_t violations_ = 0;
-  std::uint64_t dropped_pulses_ = 0;
-  std::uint64_t duplicate_pulses_ = 0;
   std::uint64_t starved_rounds_ = 0;
   double last_correction_ = 0.0;
 };

@@ -74,6 +74,10 @@ void EstimateBank::set_hardware_rate(sim::Time now, double rate) {
   }
 }
 
+void EstimateBank::halt() {
+  for (auto& replica : replicas_) replica->halt();
+}
+
 std::uint64_t EstimateBank::violations() const {
   std::uint64_t total = 0;
   for (const auto& replica : replicas_) total += replica->violations();

@@ -42,6 +42,13 @@ class EstimateBank {
   /// L̃_vB(now) for adjacent cluster B = `cluster`.
   double estimate(int cluster, sim::Time now) const;
 
+  /// L̃ of the replica at position `index` in clusters() order — the
+  /// round-start trigger path, which iterates positions and must not pay
+  /// the by-cluster scan per estimate.
+  double estimate_at(std::size_t index, sim::Time now) const {
+    return replicas_[index]->clock().read(now);
+  }
+
   /// Estimates of all adjacent clusters, in the order given at
   /// construction (matching `clusters()`).
   std::vector<double> all_estimates(sim::Time now) const;
@@ -54,7 +61,15 @@ class EstimateBank {
   /// Aggregate proper-execution violations across replicas.
   std::uint64_t violations() const;
 
+  /// Crash-stop: halts every replica (see ClusterSyncEngine::halt).
+  void halt();
+
   ClusterSyncEngine& replica(int cluster);
+
+  /// Replica at position `index` in clusters() order (NodeTable adoption).
+  ClusterSyncEngine& replica_at(std::size_t index) {
+    return *replicas_[index];
+  }
 
  private:
   int find_index(int cluster) const;      ///< −1 if not adjacent

@@ -2,7 +2,9 @@
 
 #include <limits>
 
+#include "core/node_table.h"
 #include "support/assert.h"
+#include "support/numeric.h"
 
 namespace ftgcs::core {
 
@@ -79,7 +81,7 @@ FtGcsNode::FtGcsNode(sim::Simulator& simulator, net::Network& network,
     cfg.U = params_.U;
     cfg.rho = params_.rho;
     cfg.f = params_.f;
-    max_estimator_ = std::make_unique<MaxEstimator>(simulator, cfg, 1.0);
+    max_estimator_.emplace(simulator, cfg, 1.0);
     max_estimator_->on_emit = [this](int level) {
       if (crashed_) return;
       net::Pulse pulse;
@@ -95,6 +97,13 @@ void FtGcsNode::start() {
   engine_.start();
   estimates_.start();
   if (max_estimator_) max_estimator_->start();
+}
+
+void FtGcsNode::attach_table(NodeTable* table) {
+  table_ = table;
+  if (max_estimator_) {
+    max_estimator_->bind_level_floor(table->level_floor_slot(id_));
+  }
 }
 
 double FtGcsNode::max_estimate(sim::Time now) const {
@@ -120,9 +129,11 @@ void FtGcsNode::handle_round_start(int round) {
   const bool weighted = !edge_kappas_.empty();
   const auto& adjacent = estimates_.clusters();
   ests.reserve(adjacent.size());
+  // Estimates are read by replica position (one clock read per active
+  // edge), not by cluster id — no per-estimate routing scan.
   for (std::size_t i = 0; i < adjacent.size(); ++i) {
     if (!edge_active_[i]) continue;
-    ests.push_back(estimates_.estimate(adjacent[i], now));
+    ests.push_back(estimates_.estimate_at(i, now));
     if (weighted) {
       kappas.push_back(edge_kappas_[i]);
       slacks.push_back(edge_slacks_[i]);
@@ -133,6 +144,7 @@ void FtGcsNode::handle_round_start(int round) {
                                              max_estimate(now))
                : controller_.decide(self, ests, max_estimate(now));
   engine_.clock().set_gamma(now, decision.gamma);
+  if (table_ != nullptr) table_->set_gamma(id_, decision.gamma);
   last_reason_ = decision.reason;
   ++mode_counts_[static_cast<std::size_t>(decision.reason)];
 
@@ -177,7 +189,9 @@ void FtGcsNode::on_pulse(const net::Pulse& pulse, sim::Time now) {
 }
 
 void FtGcsNode::set_hardware_rate(sim::Time now, double rate) {
-  FTGCS_EXPECTS(rate >= 1.0 && rate <= 1.0 + params_.rho + sim::kTimeEps);
+  // The envelope check is on a dimensionless rate; its slack is the rate
+  // epsilon, not the (much looser) time epsilon this used to borrow.
+  FTGCS_EXPECTS(rate >= 1.0 && rate <= 1.0 + params_.rho + support::kRateEps);
   hardware_.set_rate(now, rate);
   engine_.set_hardware_rate(now, rate);
   estimates_.set_hardware_rate(now, rate);
@@ -208,7 +222,16 @@ void FtGcsNode::on_event(sim::EventKind kind,
   FTGCS_ASSERT(kind == sim::EventKind::kTimer);
   switch (payload.a) {
     case kCrashAction:
+      // Crash-stop: swap the receive path to the null sink, cancel every
+      // pending engine/replica/estimator timer, and mark the columnar
+      // state. From here on the node schedules nothing, processes
+      // nothing, and sends nothing — its event and timer counts freeze.
       crashed_ = true;
+      net_.register_null_handler(id_);
+      engine_.halt();
+      estimates_.halt();
+      if (max_estimator_) max_estimator_->halt();
+      if (table_ != nullptr) table_->mark_crashed(id_);
       break;
     case kInjectAction:
       engine_.inject_transient_fault(now, payload.x);

@@ -29,6 +29,8 @@
 
 namespace ftgcs::core {
 
+class NodeTable;
+
 struct FtGcsNodeOptions {
   bool enable_global_module = true;
 
@@ -79,11 +81,19 @@ class FtGcsNode final : public net::PulseSink, public sim::EventSink {
   /// Drift-model sink.
   void set_hardware_rate(sim::Time now, double rate);
 
-  /// Benign crash: from time t on, the node stays internally alive but
-  /// sends nothing (equivalent, for the rest of the system, to removing
-  /// its links — see the paper's discussion of crash faults).
+  /// Benign crash: from time t on the node is STOPPED — its network sink
+  /// is swapped to the null sink, its engine, replica, and max-estimator
+  /// timers are cancelled, and it neither sends nor processes anything
+  /// again (equivalent, for the rest of the system, to removing its links
+  /// — see the paper's discussion of crash faults).
   void crash_at(sim::Time t);
   bool crashed() const { return crashed_; }
+
+  /// Binds the node to the system's columnar table (after the table
+  /// adopted the node's lanes): γ decisions and the kMaxLevel staleness
+  /// floor write through so the flat dispatch path classifies and snapshots
+  /// without touching the node.
+  void attach_table(NodeTable* table);
 
   /// Fault injection (tests/experiments): transiently corrupts the
   /// node's logical clock by `offset` at time t (see
@@ -140,12 +150,16 @@ class FtGcsNode final : public net::PulseSink, public sim::EventSink {
   int cluster_;
   Options options_;
   sim::SinkId self_ = sim::kInvalidSink;
+  NodeTable* table_ = nullptr;  ///< columnar mirror (null outside a system)
 
   clocks::HardwareClock hardware_;
   ClusterSyncEngine engine_;
   EstimateBank estimates_;
   InterclusterController controller_;
-  std::unique_ptr<MaxEstimator> max_estimator_;
+  /// Inline (not heap-allocated): the level-pulse receive is one of the
+  /// hottest per-node paths, and keeping the estimator on the node's own
+  /// cache lines removes a pointer chase per non-stale level pulse.
+  std::optional<MaxEstimator> max_estimator_;
 
   bool crashed_ = false;
   ModeReason last_reason_ = ModeReason::kDefaultSlow;

@@ -95,6 +95,17 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
     }
   }
 
+  // Columnar dispatch: the table adopts every correct node's receive
+  // lanes, the network routes fast kClusterPulse deliveries through it,
+  // and the simulator drains pure-receive pulse runs in batches.
+  table_.build(topo_, nodes_);
+  for (auto& node : nodes_) {
+    if (node) node->attach_table(&table_);
+  }
+  network_->set_cluster_dispatch(&table_, table_.fast_flags());
+  sim_.set_batch_channel(network_->sink_id(), sim::EventKind::kPulse,
+                         &NodeTable::pure_pulse, &table_);
+
   // Give each cluster's Byzantine nodes a reference observation of a
   // correct member's round schedule (omniscient adversary).
   for (int c = 0; c < topo_.num_clusters(); ++c) {
@@ -214,19 +225,9 @@ SystemSnapshot FtGcsSystem::snapshot() const {
 }
 
 void FtGcsSystem::snapshot_columns(SystemColumns& out) const {
-  const int n = topo_.num_nodes();
-  out.at = sim_.now();
-  out.logical.assign(static_cast<std::size_t>(n), 0.0);
-  out.correct.assign(static_cast<std::size_t>(n), 0);
-  out.gamma.assign(static_cast<std::size_t>(n), 0);
-  for (int id = 0; id < n; ++id) {
-    // A crashed node is a (benign) faulty node: for the rest of the
-    // system it is equivalent to removing its links (paper §1/App. A).
-    if (nodes_[id] == nullptr || nodes_[id]->crashed()) continue;
-    out.correct[static_cast<std::size_t>(id)] = 1;
-    out.logical[static_cast<std::size_t>(id)] = nodes_[id]->logical(out.at);
-    out.gamma[static_cast<std::size_t>(id)] = nodes_[id]->gamma();
-  }
+  // Straight from the columnar bank: lane clock mirrors and the γ column,
+  // no per-node object traffic.
+  table_.snapshot_columns(sim_.now(), out);
 }
 
 void FtGcsSystem::set_edge_active(int b, int c, bool active) {

@@ -13,6 +13,7 @@
 #include "byz/strategy.h"
 #include "clocks/drift_model.h"
 #include "core/ftgcs_node.h"
+#include "core/node_table.h"
 #include "core/params.h"
 #include "net/augmented.h"
 #include "net/graph.h"
@@ -20,18 +21,6 @@
 #include "sim/simulator.h"
 
 namespace ftgcs::core {
-
-/// Columnar ground-truth state: one array per field, indexed by node id.
-/// Refilling reuses capacity, so periodic probes allocate nothing after the
-/// first sample — the metrics layer reads these arrays directly.
-struct SystemColumns {
-  sim::Time at = 0.0;
-  std::vector<double> logical;        ///< L_v(at); 0 for faulty ids
-  std::vector<std::uint8_t> correct;  ///< 1 = correct and not crashed
-  std::vector<std::int32_t> gamma;    ///< γ_v; 0 for faulty ids
-
-  int num_nodes() const { return static_cast<int>(logical.size()); }
-};
 
 /// Ground-truth state of every node at one instant.
 struct SystemSnapshot {
@@ -101,6 +90,10 @@ class FtGcsSystem {
   FtGcsNode& node(int id);
   const FtGcsNode& node(int id) const;
 
+  /// The columnar per-node state bank backing the flat dispatch path.
+  const NodeTable& node_table() const { return table_; }
+  NodeTable& node_table() { return table_; }
+
   int num_correct() const { return num_correct_; }
 
   /// L_v(now) for a correct node.
@@ -134,6 +127,7 @@ class FtGcsSystem {
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<FtGcsNode>> nodes_;  // null for faulty ids
   std::vector<std::unique_ptr<byz::ByzantineNode>> byz_nodes_;
+  NodeTable table_;  ///< columnar hot state; adopts the nodes' lanes
   std::unique_ptr<clocks::DriftModel> drift_;
   int num_correct_ = 0;
   bool started_ = false;

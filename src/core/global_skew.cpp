@@ -45,7 +45,14 @@ void MaxEstimator::set_hardware_rate(sim::Time now, double rate) {
   if (started_) schedule_next_emission(now);
 }
 
+void MaxEstimator::halt() {
+  halted_ = true;
+  sim_.cancel(pending_emit_);
+  pending_emit_ = sim::EventId{};
+}
+
 void MaxEstimator::schedule_next_emission(sim::Time now) {
+  if (halted_) return;
   const double target = next_level_ * spacing_;
   const double current = read(now);
   const sim::Time fire =
@@ -67,6 +74,7 @@ void MaxEstimator::emit_through(double value) {
     on_emit(next_level_);
     ++next_level_;
   }
+  publish_floor();
 }
 
 void MaxEstimator::observe_own_clock(double logical, sim::Time now) {

@@ -65,6 +65,20 @@ class MaxEstimator final : public sim::EventSink {
   /// Emission hook: the owner broadcasts a kMaxLevel pulse with `level`.
   std::function<void(int level)> on_emit;
 
+  /// Crash-stop: cancels the pending emission timer and pins the estimator
+  /// silent — no further emissions are ever scheduled (rate changes
+  /// included). read() stays valid.
+  void halt();
+
+  /// Binds a write-through mirror of the staleness floor (the value
+  /// is_stale_level compares against: next-level − 1) and publishes it
+  /// immediately. The columnar dispatch layer uses it to classify — and
+  /// drop — stale level pulses without touching this object.
+  void bind_level_floor(std::int32_t* floor) {
+    floor_mirror_ = floor;
+    publish_floor();
+  }
+
   std::uint64_t jumps() const { return jumps_; }
   int highest_level_sent() const { return next_level_ - 1; }
 
@@ -76,6 +90,9 @@ class MaxEstimator final : public sim::EventSink {
   void advance(sim::Time now);
   void schedule_next_emission(sim::Time now);
   void emit_through(double value);
+  void publish_floor() {
+    if (floor_mirror_ != nullptr) *floor_mirror_ = next_level_ - 1;
+  }
 
   sim::Simulator& sim_;
   Config cfg_;
@@ -87,7 +104,9 @@ class MaxEstimator final : public sim::EventSink {
   double rate_;
 
   int next_level_ = 1;  ///< next level to emit
+  std::int32_t* floor_mirror_ = nullptr;  ///< staleness floor write-through
   sim::EventId pending_emit_{};
+  bool halted_ = false;
 
   /// Distinct member indices heard per (cluster, level), kept flat: one
   /// entry per sending cluster (linear scan — degrees are small), holding

@@ -53,19 +53,20 @@ Network::Network(sim::Simulator& simulator,
   self_ = simulator.register_sink(this);
   edge_streams_.reserve(adjacency_.size());
   loopback_streams_.reserve(adjacency_.size());
-  std::size_t max_degree = 0;
   std::uint64_t salt = 0;
   for (const auto& neighbors : adjacency_) {
-    max_degree = std::max(max_degree, neighbors.size());
     std::vector<sim::Rng> streams;
     streams.reserve(neighbors.size());
     for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      // Validated once here so broadcast() can schedule deliveries
+      // without a per-message bounds check (destinations come only from
+      // this adjacency).
+      FTGCS_EXPECTS(neighbors[j] >= 0 && neighbors[j] < num_nodes());
       streams.push_back(rng.fork(++salt));
     }
     edge_streams_.push_back(std::move(streams));
     loopback_streams_.push_back(rng.fork(++salt));
   }
-  group_delays_.reserve(max_degree + 1);  // broadcast batch never allocates
 }
 
 void Network::register_handler(int node, PulseSink* sink) {
@@ -82,6 +83,13 @@ void Network::register_handler(int node, Handler handler) {
 
 void Network::register_null_handler(int node) {
   register_handler(node, &null_sink);
+}
+
+void Network::set_cluster_dispatch(ClusterPulseTable* table,
+                                   const std::uint8_t* fast) {
+  FTGCS_EXPECTS(table != nullptr && fast != nullptr);
+  dispatch_ = table;
+  dispatch_fast_ = fast;
 }
 
 const std::vector<int>& Network::neighbors(int node) const {
@@ -126,6 +134,15 @@ void Network::on_event(sim::EventKind kind, const sim::EventPayload& payload,
                        sim::Time now) {
   FTGCS_ASSERT(kind == sim::EventKind::kPulse);
   ++messages_delivered_;
+  // Columnar fast path (single-event form — Simulator::step and deliveries
+  // not drained as part of a run): same receive as the batch hook below.
+  if (dispatch_ != nullptr &&
+      payload.d == static_cast<std::uint32_t>(PulseKind::kClusterPulse) &&
+      dispatch_fast_[static_cast<std::size_t>(payload.c)] != 0) {
+    const sim::BatchedEvent event{now, payload};
+    dispatch_->on_pulse_run(&event, 1);
+    return;
+  }
   Pulse pulse;
   pulse.sender = payload.a;
   pulse.level = payload.b;
@@ -136,30 +153,39 @@ void Network::on_event(sim::EventKind kind, const sim::EventPayload& payload,
   sink->on_pulse(pulse, now);
 }
 
+void Network::on_event_batch(sim::EventKind kind,
+                             const sim::BatchedEvent* events, std::size_t n) {
+  FTGCS_ASSERT(kind == sim::EventKind::kPulse);
+  FTGCS_ASSERT(dispatch_ != nullptr);
+  messages_delivered_ += n;
+  dispatch_->on_pulse_run(events, n);
+}
+
 void Network::broadcast(int from, const Pulse& pulse) {
   FTGCS_EXPECTS(from >= 0 && from < num_nodes());
   FTGCS_EXPECTS(pulse.sender == from);
   const auto& neighbors = adjacency_[static_cast<std::size_t>(from)];
-  // One delivery group: pre-sample every arrival offset (loopback first,
-  // then neighbors in adjacency order — the draw order each per-edge
-  // stream observes is unchanged), then schedule the batch. The payload
-  // is encoded once and only re-aimed per destination; the arrival times
-  // all sit within one delay spread, so on the ladder engine the burst
-  // lands as contiguous appends into the same few near-future buckets —
-  // O(degree) with no per-message tree walks.
-  group_delays_.clear();
-  group_delays_.push_back(sample_delay(
-      from, from, loopback_streams_[static_cast<std::size_t>(from)]));
-  // Streams are indexed by adjacency position — no per-edge find() here;
-  // edge_rng() (which searches) stays for the unicast paths only.
+  // One delivery group: loopback first, then neighbors in adjacency order
+  // (streams are indexed by position — no per-edge find(); edge_rng(),
+  // which searches, stays for the unicast paths only), so the draw order
+  // each per-edge stream observes is unchanged. The payload is encoded
+  // once and only re-aimed per destination; destinations come from the
+  // validated adjacency and delays from the channel's own sampler, so the
+  // per-delivery bounds checks of the unicast path are hoisted out of the
+  // loop. The arrival times all sit within one delay spread, so on the
+  // ladder engine the burst lands as contiguous appends into the same few
+  // near-future buckets — O(degree) with no per-message tree walks.
+  messages_sent_ += neighbors.size() + 1;
+  sim::EventPayload payload = encode(pulse, from);
+  sim_.post_fire_only_after(
+      sample_delay(from, from,
+                   loopback_streams_[static_cast<std::size_t>(from)]),
+      sim::EventKind::kPulse, self_, payload);
   auto& streams = edge_streams_[static_cast<std::size_t>(from)];
   for (std::size_t j = 0; j < neighbors.size(); ++j) {
-    group_delays_.push_back(sample_delay(from, neighbors[j], streams[j]));
-  }
-  sim::EventPayload payload = encode(pulse, from);
-  post_delivery(payload, from, group_delays_[0]);
-  for (std::size_t j = 0; j < neighbors.size(); ++j) {
-    post_delivery(payload, neighbors[j], group_delays_[j + 1]);
+    payload.c = neighbors[j];  // re-aim; everything else is fixed
+    sim_.post_fire_only_after(sample_delay(from, neighbors[j], streams[j]),
+                              sim::EventKind::kPulse, self_, payload);
   }
 }
 

@@ -59,6 +59,21 @@ class PulseSink {
   virtual void on_pulse(const Pulse& pulse, sim::Time now) = 0;
 };
 
+/// Flat fast-path receiver for the dominant pulse traffic, implemented by
+/// the system layer's columnar node table. The network forwards a drained
+/// run of pure-receive pulse events in one call — replacing one virtual
+/// on_pulse per message; the table consumes the encoded payloads directly
+/// (kPulse schema: a = sender, c = dest; kClusterPulse receives, stale
+/// kMaxLevel drops). The receiver must treat every event as a pure receive
+/// (no scheduling, no sends): that is what makes the batch drain
+/// order-safe (see sim::Simulator::set_batch_channel).
+class ClusterPulseTable {
+ public:
+  virtual ~ClusterPulseTable() = default;
+  virtual void on_pulse_run(const sim::BatchedEvent* events,
+                            std::size_t n) = 0;
+};
+
 class Network final : public sim::EventSink {
  public:
   /// Legacy closure handler; adapted onto PulseSink (cold path, used by
@@ -82,6 +97,17 @@ class Network final : public sim::EventSink {
 
   /// Installs a sink that discards deliveries (crashed/faulty-silent ids).
   void register_null_handler(int node);
+
+  /// Installs the columnar fast path: kClusterPulse deliveries whose
+  /// destination has `fast[dest] != 0` are decoded in batch and handed to
+  /// `table` instead of the per-node sink. `fast` is owned by the caller
+  /// (the system layer flips a node's flag off when it crashes) and must
+  /// outlive the network, as must `table`.
+  void set_cluster_dispatch(ClusterPulseTable* table,
+                            const std::uint8_t* fast);
+
+  /// This network's typed-event sink id (for Simulator::set_batch_channel).
+  sim::SinkId sink_id() const { return self_; }
 
   /// Correct-node broadcast: delivers to all neighbors and to self. The
   /// delivery group is pre-sampled as one batch.
@@ -108,6 +134,13 @@ class Network final : public sim::EventSink {
   void on_event(sim::EventKind kind, const sim::EventPayload& payload,
                 sim::Time now) override;
 
+  /// EventSink batch hook: a drained run of pure-receive pulse events —
+  /// kClusterPulse deliveries to fast destinations (decoded and forwarded
+  /// to the cluster-pulse table in one call) interleaved with stale
+  /// kMaxLevel deliveries (dropped; only the delivered count moves).
+  void on_event_batch(sim::EventKind kind, const sim::BatchedEvent* events,
+                      std::size_t n) override;
+
  private:
   /// Bounds-checks and schedules one delivery of `payload` re-aimed at
   /// `to` (shared by a whole broadcast group — encode once, aim N times).
@@ -131,13 +164,12 @@ class Network final : public sim::EventSink {
   bool uniform_channel_ = false;
   std::vector<PulseSink*> sinks_;
   std::vector<std::unique_ptr<PulseSink>> owned_sinks_;  // legacy adapters
+  ClusterPulseTable* dispatch_ = nullptr;   ///< columnar fast path (optional)
+  const std::uint8_t* dispatch_fast_ = nullptr;  ///< per-dest fast flags
   // One stream per directed edge, keyed densely: edge_streams_[from] maps
   // position-in-adjacency-list -> Rng; loopback stream is separate.
   std::vector<std::vector<sim::Rng>> edge_streams_;
   std::vector<sim::Rng> loopback_streams_;
-  /// Reused broadcast batch buffer (pre-sampled per-edge arrival offsets);
-  /// sized to max degree + 1 at construction so broadcast never allocates.
-  std::vector<sim::Duration> group_delays_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
 };

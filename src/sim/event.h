@@ -12,6 +12,7 @@
 // for cold one-shot scheduling (fault injection, edge toggles, tests).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time_types.h"
@@ -48,6 +49,20 @@ using SinkId = std::uint32_t;
 
 inline constexpr SinkId kInvalidSink = 0xffffffffu;
 
+/// One event of a batched drain run: the payload plus its own fire time
+/// (batch items fire at distinct instants; the receiver must use `at`, not
+/// a single shared now).
+struct BatchedEvent {
+  Time at = 0.0;
+  EventPayload payload;
+};
+
+/// Classifies a payload as a *pure receive* for the batch drain (see
+/// Simulator::set_batch_channel). Must be a stateless read of `ctx` —
+/// called once per candidate event at pop time. A plain function pointer,
+/// not std::function: the call sits inside the queue's pop loop.
+using BatchPredicate = bool (*)(const EventPayload& payload, const void* ctx);
+
 /// Receiver of typed events. Components register once (getting a stable
 /// SinkId) and receive every typed event addressed to them through this
 /// interface — no per-event closure, no allocation.
@@ -55,6 +70,17 @@ class EventSink {
  public:
   virtual void on_event(EventKind kind, const EventPayload& payload,
                         Time now) = 0;
+
+  /// Batched delivery of a contiguous run of fire-only events previously
+  /// classified as pure receives by the sink's BatchPredicate. Items are in
+  /// exact (time, seq) fire order; each carries its own fire time. The
+  /// default simply replays them through on_event.
+  virtual void on_event_batch(EventKind kind, const BatchedEvent* events,
+                              std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      on_event(kind, events[i].payload, events[i].at);
+    }
+  }
 
  protected:
   ~EventSink() = default;  // never deleted through the interface

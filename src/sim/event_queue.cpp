@@ -36,7 +36,7 @@ std::uint32_t EventQueue::acquire_slot() {
   slots_.emplace_back();
   fns_.emplace_back();
   positions_.push_back(0);
-  FTGCS_ASSERT(slots_.size() < kInlineSlot);  // sentinel stays unused
+  FTGCS_ASSERT(slots_.size() < kInlineBase);  // inline range stays unused
   return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
@@ -52,9 +52,8 @@ void EventQueue::push_overflow(const Entry& entry) {
   // reseed() scans it linearly to build the next window — so a push is
   // one append, a removal one swap-remove, a far-future re-aim an
   // in-place overwrite.
-  const std::uint32_t slot = entry.slot();
-  if (slot != kInlineSlot) {
-    positions_[slot] = static_cast<std::uint64_t>(bag_.size());
+  if (!entry.is_inline()) {
+    positions_[entry.slot()] = static_cast<std::uint64_t>(bag_.size());
   }
   bag_.push_back(entry);
   ++stats_.overflow_pushes;
@@ -78,9 +77,8 @@ std::size_t clamp_bucket_index(double off, std::size_t lo, std::size_t hi) {
 
 void EventQueue::bucket_insert(Bucket& bucket, bool rung, std::size_t index,
                                const Entry& entry) {
-  const std::uint32_t slot = entry.slot();
-  if (slot != kInlineSlot) {
-    positions_[slot] = encode_bucket_pos(rung, index, bucket.items.size());
+  if (!entry.is_inline()) {
+    positions_[entry.slot()] = encode_bucket_pos(rung, index, bucket.items.size());
   }
   bucket.items.push_back(entry);
   // If this is the drain head, the next pop re-sorts the remaining span;
@@ -128,9 +126,8 @@ void EventQueue::remove_resident(std::uint32_t slot) {
     bag_.pop_back();
     if (idx < bag_.size()) {
       bag_[idx] = moved;
-      const std::uint32_t moved_slot = moved.slot();
-      if (moved_slot != kInlineSlot) {
-        positions_[moved_slot] = static_cast<std::uint64_t>(idx);
+      if (!moved.is_inline()) {
+        positions_[moved.slot()] = static_cast<std::uint64_t>(idx);
       }
     }
     return;
@@ -151,9 +148,8 @@ void EventQueue::remove_resident(std::uint32_t slot) {
   bucket.items.pop_back();
   if (idx < bucket.items.size()) {
     bucket.items[idx] = moved;
-    const std::uint32_t moved_slot = moved.slot();
-    if (moved_slot != kInlineSlot) {
-      positions_[moved_slot] = encode_bucket_pos(rung, bucket_index, idx);
+    if (!moved.is_inline()) {
+      positions_[moved.slot()] = encode_bucket_pos(rung, bucket_index, idx);
     }
   }
   bucket.sorted = false;  // a swap-remove breaks the drain order
@@ -196,9 +192,8 @@ void EventQueue::spawn_rung(Bucket& bucket) {
     const std::size_t sub = clamp_bucket_index(
         (e.at - rung_start_) / rung_width_, 0, rung_nb_ - 1);
     Bucket& target = rung_[sub];
-    const std::uint32_t slot = e.slot();
-    if (slot != kInlineSlot) {
-      positions_[slot] =
+    if (!e.is_inline()) {
+      positions_[e.slot()] =
           encode_bucket_pos(/*rung=*/true, sub, target.items.size());
     }
     target.items.push_back(e);
@@ -247,9 +242,8 @@ void EventQueue::reseed() {
     const std::size_t index = clamp_bucket_index(
         (e.at - win_start_) / bucket_width_, 0, wheel_nb_ - 1);
     Bucket& target = wheel_[index];
-    const std::uint32_t slot = e.slot();
-    if (slot != kInlineSlot) {
-      positions_[slot] =
+    if (!e.is_inline()) {
+      positions_[e.slot()] =
           encode_bucket_pos(/*rung=*/false, index, target.items.size());
     }
     target.items.push_back(e);
@@ -345,9 +339,13 @@ void EventQueue::schedule_fire_only(Time t, EventKind kind, SinkId sink,
                                     const EventPayload& payload) {
   FTGCS_EXPECTS(kind != EventKind::kClosure);
   FTGCS_EXPECTS(sink < (1u << 24));
-  if (backend_ == QueueBackend::kHeap) {
-    // The heap stores slotted entries only; semantics are identical (the
-    // returned id is simply dropped — fire-only ids are unobservable).
+  if (backend_ == QueueBackend::kHeap || payload.x != 0.0 ||
+      payload.d >= 256) {
+    // The heap stores slotted entries only, and the 32-byte inline entry
+    // has no room for payload.x (or a d tag beyond the inline range):
+    // those events take the slotted path with identical (time, seq)
+    // semantics (the returned id is simply dropped — fire-only ids are
+    // unobservable).
     schedule_typed(t, kind, sink, payload);
     return;
   }
@@ -355,8 +353,10 @@ void EventQueue::schedule_fire_only(Time t, EventKind kind, SinkId sink,
   FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
   Entry entry;
   entry.at = t;
-  entry.key = seq << kSlotBits | kInlineSlot;
-  entry.payload = payload;
+  entry.key = seq << kSlotBits | (kInlineBase + payload.d);
+  entry.a = payload.a;
+  entry.b = payload.b;
+  entry.c = payload.c;
   entry.sink_kind = sink << 8 | static_cast<std::uint32_t>(kind);
   insert_ladder(entry);
 }

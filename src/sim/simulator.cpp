@@ -22,6 +22,23 @@ SinkId Simulator::register_sink(EventSink* sink) {
   return static_cast<SinkId>(sinks_.size() - 1);
 }
 
+void Simulator::set_batch_channel(SinkId sink, EventKind kind,
+                                  BatchPredicate pred, const void* ctx) {
+  FTGCS_EXPECTS(sink < sinks_.size());
+  FTGCS_EXPECTS(pred != nullptr);
+  FTGCS_EXPECTS(batch_pred_ == nullptr);  // one channel per simulator
+  // kClosure would pack to the same (sink << 8 | kind) = 0 key that
+  // cancellable ladder entries carry by default — pop_run's mismatch test
+  // relies on a real channel key never being 0.
+  FTGCS_EXPECTS(kind != EventKind::kClosure);
+  batch_pred_ = pred;
+  batch_ctx_ = ctx;
+  batch_sink_ = sinks_[sink];
+  batch_kind_ = kind;
+  batch_key_ = sink << 8 | static_cast<std::uint32_t>(kind);
+  batch_buf_.resize(kMaxBatch);
+}
+
 EventId Simulator::post_at(Time t, EventKind kind, SinkId sink,
                            const EventPayload& payload) {
   FTGCS_EXPECTS(t >= now_);
@@ -64,7 +81,24 @@ bool Simulator::step() {
 void Simulator::run_until(Time t_end) {
   FTGCS_EXPECTS(t_end >= now_);
   EventQueue::Fired fired;
-  while (queue_.pop_if_at_most(t_end, fired)) {
+  for (;;) {
+    if (batch_pred_ != nullptr) {
+      // Drain any pure-receive run at the head in one batch: the pops, the
+      // dispatch, and the sink's work all stay in tight loops. Accepted
+      // events cannot schedule (the channel contract), so nothing can
+      // preempt the run after it was popped.
+      const std::size_t n =
+          queue_.pop_run(t_end, batch_key_, batch_pred_, batch_ctx_,
+                         batch_buf_.data(), kMaxBatch);
+      if (n != 0) {
+        FTGCS_ASSERT(batch_buf_[0].at >= now_);
+        now_ = batch_buf_[n - 1].at;
+        fired_ += n;
+        batch_sink_->on_event_batch(batch_kind_, batch_buf_.data(), n);
+        continue;
+      }
+    }
+    if (!queue_.pop_if_at_most(t_end, fired)) break;
     FTGCS_ASSERT(fired.at >= now_);
     now_ = fired.at;
     ++fired_;

@@ -51,6 +51,18 @@ class Simulator {
   /// the long-lived protocol components).
   SinkId register_sink(EventSink* sink);
 
+  /// Registers THE batch channel (at most one per simulator): fire-only
+  /// events of (`sink`, `kind`) whose payload `pred(payload, ctx)` accepts
+  /// are drained in contiguous (time, seq)-ordered runs and handed to
+  /// sink->on_event_batch() instead of one on_event() per event. Contract:
+  /// processing an accepted event must be a PURE RECEIVE — it must not
+  /// schedule, cancel, or reschedule events, and must not read now()
+  /// (batch items each carry their own fire time). Any event violating
+  /// that must be rejected by `pred`; the run then breaks before it and it
+  /// fires through the ordinary path, preserving exact interleaving.
+  void set_batch_channel(SinkId sink, EventKind kind, BatchPredicate pred,
+                         const void* ctx);
+
   /// Schedules a typed event at absolute time `t >= now()`.
   EventId post_at(Time t, EventKind kind, SinkId sink,
                   const EventPayload& payload);
@@ -104,10 +116,22 @@ class Simulator {
  private:
   void dispatch(EventQueue::Fired& fired);
 
+  /// Batch runs are bounded so the drain buffer stays cache-resident and a
+  /// long pulse train still yields to the run loop's t_end check promptly.
+  static constexpr std::size_t kMaxBatch = 256;
+
   EventQueue queue_;
   std::vector<EventSink*> sinks_;
   Time now_ = kTimeZero;
   std::uint64_t fired_ = 0;
+
+  // ---- batch channel (see set_batch_channel) --------------------------------
+  BatchPredicate batch_pred_ = nullptr;
+  const void* batch_ctx_ = nullptr;
+  EventSink* batch_sink_ = nullptr;
+  EventKind batch_kind_ = EventKind::kPulse;
+  std::uint32_t batch_key_ = 0;  ///< packed sink << 8 | kind
+  std::vector<BatchedEvent> batch_buf_;
 };
 
 }  // namespace ftgcs::sim

@@ -1,0 +1,18 @@
+// Numeric tolerances for dimensionless protocol quantities.
+//
+// sim::kTimeEps is a tolerance on absolute times (seconds) and is the
+// wrong yardstick for anything dimensionless: comparing a clock RATE
+// against a time epsilon only works by accident of magnitudes. Rate
+// comparisons use the epsilon below instead.
+#pragma once
+
+namespace ftgcs::support {
+
+/// Tolerance for comparing dimensionless clock-rate values against their
+/// envelope bounds. Drift models produce rates as 1 + ρ·u with u ∈ [0, 1],
+/// so the representable error is a few ulps around 1 (≈ 2⁻⁵²); 1e-12
+/// absorbs that rounding with orders of magnitude to spare while still
+/// rejecting any genuinely out-of-envelope rate.
+inline constexpr double kRateEps = 1e-12;
+
+}  // namespace ftgcs::support

@@ -132,6 +132,55 @@ TEST(MaxEstimator, QuorumAcrossManyMembersBeyondSixtyFour) {
   EXPECT_NEAR(m.read(0.0), 4.8, 1e-12);
 }
 
+TEST(MaxEstimator, OverflowMigrationSurvivesBaseSlidePlusRegrowInOneCall) {
+  // Regression pin for the heard-window bookkeeping when ONE insert
+  // triggers all three rare transitions at once: the staleness floor
+  // slides the window base by thousands of levels, the per-level stride
+  // regrows (member index ≥ 128 ⇒ 1 → 3 words), and a sparse overflow
+  // level gets pulled into dense range and must be OR-migrated at the NEW
+  // width. A width mismatch anywhere loses or fabricates member bits,
+  // which shows up here as a quorum that fires too early or not at all.
+  sim::Simulator sim;
+  MaxEstimator::Config cfg;
+  cfg.d = 1.0;
+  cfg.U = 0.0;  // spacing 1: level ℓ ⇔ value ℓ exactly
+  cfg.rho = 1e-3;
+  cfg.f = 2;  // quorum 3
+  MaxEstimator m(sim, cfg, 1.0);
+  m.on_emit = [](int) {};
+  m.start();
+
+  // Far-future level 5000 (> base 1 + window 4096): sparse overflow entry,
+  // 1-word mask, member 0.
+  m.on_level_pulse(7, 0, false, 5000, 0.0);
+  // Member 70 forces the first regrow (2 words); the overflow mask of
+  // level 5000 must widen with it.
+  m.on_level_pulse(7, 70, false, 2, 0.0);
+  EXPECT_EQ(m.jumps(), 0u);
+
+  // Own clock at 4999.25 emits levels 1..4999: the staleness floor is now
+  // 4999, so the next insert must slide the base past the entire dense
+  // window while level 5000 becomes in-range.
+  m.observe_own_clock(4999.25, 0.0);
+  EXPECT_EQ(m.highest_level_sent(), 4999);
+
+  // One call: base 1 → 4999, regrow 2 → 3 words (member 140), and the
+  // overflow entry for level 5000 migrates into the dense window. Members
+  // heard at level 5000: {0 (migrated), 140} — still below quorum.
+  m.on_level_pulse(7, 140, false, 5000, 0.0);
+  EXPECT_EQ(m.jumps(), 0u);
+  // A duplicate of the migrated member must not mint a third bit.
+  m.on_level_pulse(7, 0, false, 5000, 0.0);
+  EXPECT_EQ(m.jumps(), 0u);
+  EXPECT_NEAR(m.read(0.0), 4999.25, 1e-12);
+
+  // The genuine third member completes the quorum: M ← (5000+1)·spacing.
+  m.on_level_pulse(7, 70, false, 5000, 0.0);
+  EXPECT_EQ(m.jumps(), 1u);
+  EXPECT_NEAR(m.read(0.0), 5001.0, 1e-12);
+  EXPECT_EQ(m.highest_level_sent(), 5001);
+}
+
 TEST(MaxEstimator, JumpsAreMonotone) {
   sim::Simulator sim;
   MaxEstimator m(sim, unit_config(), 1.0);

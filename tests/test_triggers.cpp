@@ -226,6 +226,55 @@ TEST(WeightedTriggers, ReduceToUniformWhenWeightsEqual) {
   }
 }
 
+TEST(WeightedTriggers, WeightOneBoundaryValuesAgreeWithPlain) {
+  // Weight-1 equivalence at the EXACT level boundaries: neighbors placed
+  // at est − self = 2sκ ± δ (fast levels) and (2s−1)κ ± δ (slow levels),
+  // where the ≥ / ≤ comparisons of Definitions 4.3/4.4 flip. All values
+  // are binary-exact (κ, δ, self dyadic rationals), so a closed-form
+  // normalization that mishandles a boundary (>= vs >) diverges from the
+  // plain triggers here and nowhere else.
+  sim::Rng rng(606);
+  const double kappas_pool[] = {3.0, 0.5, 1.25};
+  const double selfs_pool[] = {0.0, 64.0, -17.5};
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double kappa = kappas_pool[rng.below(3)];
+    const double slack = 0.25 * kappa;  // dyadic ⇒ 2sκ ± δ exact
+    const double self = selfs_pool[rng.below(3)];
+    const int n = 1 + static_cast<int>(rng.below(4));
+    std::vector<double> neighbors;
+    for (int i = 0; i < n; ++i) {
+      if (rng.below(4) == 0) {
+        neighbors.push_back(self + rng.uniform(-30.0, 30.0));
+        continue;
+      }
+      // Exact boundary neighbor: ±(level ± δ), levels 2sκ and (2s−1)κ.
+      const int s = 1 + static_cast<int>(rng.below(4));
+      const double level =
+          rng.below(2) == 0 ? 2.0 * s * kappa : (2.0 * s - 1.0) * kappa;
+      const double offset = rng.below(2) == 0 ? level - slack : level + slack;
+      neighbors.push_back(self + (rng.below(2) == 0 ? offset : -offset));
+    }
+    const std::vector<double> unit_kappas(n, kappa);
+    const std::vector<double> unit_slacks(n, slack);
+    const TriggerView plain{self, neighbors};
+    const WeightedTriggerView weighted{self, neighbors, unit_kappas,
+                                       unit_slacks};
+    EXPECT_EQ(weighted_fast_trigger(weighted),
+              fast_trigger(plain, kappa, slack))
+        << "fast trial " << trial;
+    EXPECT_EQ(weighted_slow_trigger(weighted),
+              slow_trigger(plain, kappa, slack))
+        << "slow trial " << trial;
+    // Both must also match the definitional brute force at the boundary.
+    EXPECT_EQ(fast_trigger(plain, kappa, slack),
+              fast_brute(self, neighbors, kappa, slack))
+        << "fast-brute trial " << trial;
+    EXPECT_EQ(slow_trigger(plain, kappa, slack),
+              slow_brute(self, neighbors, kappa, slack))
+        << "slow-brute trial " << trial;
+  }
+}
+
 TEST(WeightedTriggers, ClosedFormMatchesBruteForceProperty) {
   sim::Rng rng(505);
   for (int trial = 0; trial < 10000; ++trial) {
