@@ -19,6 +19,12 @@
 //   --engine KIND       event-engine backend: heap | ladder (default:
 //                       ladder; tables are bit-identical either way, so
 //                       this is a pure A/B throughput toggle)
+//   --shards T          conservative-parallel backend: stripe each run's
+//                       cluster graph over T worker threads advancing in
+//                       lock-step safe windows (default 1 = single
+//                       simulator; tables are bit-identical at any T, so
+//                       this too is a pure throughput toggle; the
+//                       `--timing` footer reports the cut geometry)
 //   --quiet             table only, no banner
 #include <cstdio>
 #include <cstdlib>
@@ -42,7 +48,8 @@ using namespace ftgcs;
                "usage: ftgcs_bench <list | run <scenario> | sweep "
                "<scenario>> [--threads N] [--sink table|csv|jsonl] "
                "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
-               "[--per-seed] [--timing] [--engine heap|ladder] [--quiet]\n");
+               "[--per-seed] [--timing] [--engine heap|ladder] "
+               "[--shards T] [--quiet]\n");
   std::exit(code);
 }
 
@@ -181,6 +188,9 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
       spec.aggregation = exp::SeedAggregation::kPerSeed;
     } else if (arg == "--engine") {
       spec.engine = exp::parse_queue_backend(next());
+    } else if (arg == "--shards") {
+      spec.shards = std::stoi(next());
+      if (spec.shards < 1) usage(2);
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--timing") {
@@ -215,6 +225,17 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
                   sim::queue_backend_name(spec.engine),
                   result.queue.max_bucket_count, result.queue.rung_spawns,
                   result.queue.max_overflow_peak, result.queue.reseeds);
+      if (result.shard.shards > 0.0) {
+        std::printf("shards[%.0f]: cut_edges=%.0f min_cut_delay=%g "
+                    "windows=%.0f mailbox_peak=%.0f\n",
+                    result.shard.shards, result.shard.max_cut_edges,
+                    result.shard.min_cut_delay, result.shard.windows,
+                    result.shard.max_mailbox_peak);
+      } else if (spec.shards > 1) {
+        std::printf("shards: requested %d, partition degenerate — ran the "
+                    "single-simulator engine\n",
+                    spec.shards);
+      }
     }
   }
   return 0;

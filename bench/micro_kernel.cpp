@@ -20,6 +20,7 @@
 #include "core/ftgcs_system.h"
 #include "core/triggers.h"
 #include "net/graph.h"
+#include "par/sharded_system.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -362,6 +363,49 @@ void BM_SystemTorusThroughputLadder(benchmark::State& state) {
   SystemTorusThroughput(state, sim::QueueBackend::kLadder);
 }
 BENCHMARK(BM_SystemTorusThroughputLadder)->Arg(4)->Arg(8);
+
+// Sharded conservative-parallel torus throughput (src/par/): the same
+// protocol workload striped over T shard worker threads advancing in
+// lock-step safe windows. Tables are bit-identical to the single
+// simulator (tests/test_par_shards.cpp); this family tracks the
+// overhead/scaling of the window machinery itself. Arg is the torus side
+// (side² clusters, 4·side² nodes).
+void ShardedTorusThroughput(benchmark::State& state, int shards) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  const int side = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    par::ShardedFtGcsSystem::Config config;
+    config.params = params;
+    config.seed = 15;
+    config.shards = shards;
+    auto system = std::make_unique<par::ShardedFtGcsSystem>(
+        net::Graph::torus(side, side), std::move(config));
+    system->start();
+    state.ResumeTiming();
+    system->run_until(5.0 * params.T);
+    events += system->fired_events();
+    state.PauseTiming();
+    system.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+void BM_ShardedTorusThroughput2(benchmark::State& state) {
+  ShardedTorusThroughput(state, 2);
+}
+BENCHMARK(BM_ShardedTorusThroughput2)->Arg(8)->Arg(16);
+void BM_ShardedTorusThroughput4(benchmark::State& state) {
+  ShardedTorusThroughput(state, 4);
+}
+BENCHMARK(BM_ShardedTorusThroughput4)->Arg(8)->Arg(16);
+void BM_ShardedTorusThroughput8(benchmark::State& state) {
+  ShardedTorusThroughput(state, 8);
+}
+BENCHMARK(BM_ShardedTorusThroughput8)->Arg(16);
 
 void BM_TriggerEvaluation(benchmark::State& state) {
   sim::Rng rng(3);

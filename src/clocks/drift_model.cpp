@@ -42,6 +42,7 @@ void RandomWalkDrift::install(sim::Simulator& simulator,
 void RandomWalkDrift::on_event(sim::EventKind kind, const sim::EventPayload&,
                                sim::Time /*now*/) {
   FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  ++ticks_;
   tick(*sim_);
 }
 
@@ -73,6 +74,7 @@ void SinusoidalDrift::install(sim::Simulator& simulator,
 void SinusoidalDrift::on_event(sim::EventKind kind, const sim::EventPayload&,
                                sim::Time /*now*/) {
   FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  ++ticks_;
   tick(*sim_);
 }
 
@@ -100,6 +102,7 @@ void SpatialSplitDrift::on_event(sim::EventKind kind,
                                  const sim::EventPayload& payload,
                                  sim::Time /*now*/) {
   FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  ++ticks_;
   apply(*sim_, payload.a != 0);
 }
 
@@ -138,6 +141,7 @@ void ScheduledDrift::on_event(sim::EventKind kind,
                               const sim::EventPayload& payload,
                               sim::Time /*now*/) {
   FTGCS_ASSERT(kind == sim::EventKind::kDrift);
+  ++ticks_;
   const Change& change = script_[static_cast<std::size_t>(payload.a)];
   sinks_[change.node](change.at, change.rate);
 }

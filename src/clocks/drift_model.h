@@ -41,6 +41,14 @@ class DriftModel {
   /// node i; the envelope is [1, 1+rho].
   virtual void install(sim::Simulator& simulator,
                        std::vector<RateSink> sinks) = 0;
+
+  /// Number of scheduled drift events this model has fired so far.
+  /// Rate draws are indexed per node, so a sharded run installs one
+  /// identically-seeded copy of the model per shard; the copies fire the
+  /// same tick schedule T times, and the sharded backend uses this count
+  /// to report the event total the single-simulator engine would have
+  /// fired. Models without scheduled changes return 0.
+  virtual std::uint64_t ticks_fired() const { return 0; }
 };
 
 /// Every node keeps one rate forever. If `spread` is true, rates are spread
@@ -73,6 +81,7 @@ class RandomWalkDrift final : public DriftModel, public sim::EventSink {
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
   void on_event(sim::EventKind kind, const sim::EventPayload& payload,
                 sim::Time now) override;
+  std::uint64_t ticks_fired() const override { return ticks_; }
 
  private:
   void tick(sim::Simulator& simulator);
@@ -85,6 +94,7 @@ class RandomWalkDrift final : public DriftModel, public sim::EventSink {
   sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
   std::vector<double> rates_;
+  std::uint64_t ticks_ = 0;
 };
 
 /// Piecewise-constant sampling of 1 + rho/2 + (rho/2)·sin(2π(t/period + φ_i))
@@ -98,6 +108,7 @@ class SinusoidalDrift final : public DriftModel, public sim::EventSink {
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
   void on_event(sim::EventKind kind, const sim::EventPayload& payload,
                 sim::Time now) override;
+  std::uint64_t ticks_fired() const override { return ticks_; }
 
  private:
   void tick(sim::Simulator& simulator);
@@ -110,6 +121,7 @@ class SinusoidalDrift final : public DriftModel, public sim::EventSink {
   sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
   std::vector<double> phases_;
+  std::uint64_t ticks_ = 0;
 };
 
 /// Adversarial spatial split: nodes whose group id (supplied by the caller;
@@ -129,6 +141,7 @@ class SpatialSplitDrift final : public DriftModel, public sim::EventSink {
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
   void on_event(sim::EventKind kind, const sim::EventPayload& payload,
                 sim::Time now) override;
+  std::uint64_t ticks_fired() const override { return ticks_; }
 
  private:
   void apply(sim::Simulator& simulator, bool flipped);
@@ -140,6 +153,7 @@ class SpatialSplitDrift final : public DriftModel, public sim::EventSink {
   sim::Simulator* sim_ = nullptr;
   sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
+  std::uint64_t ticks_ = 0;
 };
 
 /// Explicit script of rate changes, for unit tests.
@@ -157,12 +171,14 @@ class ScheduledDrift final : public DriftModel, public sim::EventSink {
   void install(sim::Simulator& simulator, std::vector<RateSink> sinks) override;
   void on_event(sim::EventKind kind, const sim::EventPayload& payload,
                 sim::Time now) override;
+  std::uint64_t ticks_fired() const override { return ticks_; }
 
  private:
   std::vector<double> initial_;
   std::vector<Change> script_;
   sim::SinkId self_ = sim::kInvalidSink;
   std::vector<RateSink> sinks_;
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace ftgcs::clocks

@@ -103,6 +103,8 @@ void FtGcsNode::attach_table(NodeTable* table) {
   table_ = table;
   if (max_estimator_) {
     max_estimator_->bind_level_floor(table->level_floor_slot(id_));
+    max_estimator_->bind_quorum(table->quorum_span(id_),
+                                table->quorum_count(id_));
   }
 }
 

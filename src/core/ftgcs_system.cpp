@@ -14,18 +14,30 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
   FTGCS_EXPECTS(config_.params.feasible());
   FTGCS_EXPECTS(config_.fault_plan.max_faults_per_cluster(topo_) <=
                 topo_.cluster_size());
+  const ShardView& shard = config_.shard;
+  if (shard.active()) {
+    FTGCS_EXPECTS(shard.shard >= 0 && shard.shard < shard.num_shards);
+    FTGCS_EXPECTS(shard.cluster_owner != nullptr && shard.router != nullptr);
+  }
 
   sim::Rng master(config_.seed);
 
   // Pre-warm the event pool: every in-flight message and timer gets a slot
   // without growing the pool mid-run. Degree+loopback bounds the messages
-  // a node can have in flight per delay window; timers add a handful.
+  // a node can have in flight per delay window; timers add a handful. A
+  // shard only ever queues its owned nodes' deliveries and timers, so its
+  // pool scales with the owned slice (the pool grows on demand if a
+  // lopsided cut ever exceeds the estimate — sizing is not load-bearing
+  // for determinism, unlike the RNG fork order below).
   std::size_t max_degree = 0;
   for (const auto& neighbors : topo_.adjacency()) {
     max_degree = std::max(max_degree, neighbors.size());
   }
-  sim_.reserve_events(static_cast<std::size_t>(topo_.num_nodes()) *
-                      (max_degree + 9));
+  std::size_t owned_nodes = 0;
+  for (int id = 0; id < topo_.num_nodes(); ++id) {
+    if (owns(id)) ++owned_nodes;
+  }
+  sim_.reserve_events(owned_nodes * (max_degree + 9));
 
   auto delays = config_.delay_model
                     ? std::move(config_.delay_model)
@@ -33,16 +45,30 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
                                                           config_.params.U);
   network_ = std::make_unique<net::Network>(sim_, topo_.adjacency(),
                                             std::move(delays), master.fork(1));
+  if (shard.active()) {
+    remote_flags_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
+    for (int id = 0; id < topo_.num_nodes(); ++id) {
+      remote_flags_[static_cast<std::size_t>(id)] = owns(id) ? 0 : 1;
+    }
+    network_->set_shard_router(shard.router, remote_flags_.data());
+  }
 
   nodes_.resize(topo_.num_nodes());
   byz_nodes_.reserve(config_.fault_plan.size());
 
   // Instantiate nodes: Byzantine where the plan says so, correct otherwise.
+  // A sharded system only instantiates the nodes it owns, but forks the
+  // master RNG for EVERY id — fork() advances the parent stream, so the
+  // skipped forks keep every owned node's stream identical to the
+  // unsharded construction (partition-invariant executions).
   for (int id = 0; id < topo_.num_nodes(); ++id) {
     const auto& specs = config_.fault_plan.specs();
     const auto it = std::find_if(
         specs.begin(), specs.end(),
         [id](const byz::FaultSpec& s) { return s.node == id; });
+    sim::Rng node_rng = master.fork((it != specs.end() ? 1000 : 2000) +
+                                    static_cast<std::uint64_t>(id));
+    if (!owns(id)) continue;
     if (it != specs.end()) {
       byz::AttackContext ctx;
       ctx.self = id;
@@ -52,7 +78,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
       ctx.net = network_.get();
       ctx.topo = &topo_;
       ctx.params = &config_.params;
-      ctx.rng = master.fork(1000 + static_cast<std::uint64_t>(id));
+      ctx.rng = node_rng;
       byz_nodes_.push_back(std::make_unique<byz::ByzantineNode>(
           std::move(ctx), byz::make_strategy(it->kind, it->param)));
       network_->register_handler(id, byz_nodes_.back().get());
@@ -88,8 +114,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
         }
       }
       nodes_[id] = std::make_unique<FtGcsNode>(
-          sim_, *network_, topo_, config_.params, id,
-          master.fork(2000 + static_cast<std::uint64_t>(id)), options);
+          sim_, *network_, topo_, config_.params, id, node_rng, options);
       ++num_correct_;
       network_->register_handler(id, nodes_[id].get());
     }

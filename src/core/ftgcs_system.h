@@ -37,6 +37,25 @@ struct SystemSnapshot {
 
 class FtGcsSystem {
  public:
+  /// Shard scoping for the conservative-parallel backend (src/par/): the
+  /// system instantiates ONLY the nodes of clusters owned by `shard` and
+  /// diverts deliveries to non-owned destinations through `router`
+  /// (net::ShardRouter) instead of its own simulator. Clusters are never
+  /// split — intra-cluster traffic, the Byzantine reference-round wiring
+  /// and the quorum lanes all stay shard-local; only inter-cluster (cut)
+  /// edges cross. All other construction (topology, RNG forks per node
+  /// id, drift draws per node index) is performed identically to an
+  /// unsharded system, which is what makes per-node executions
+  /// partition-invariant. `cluster_owner` and `router` are owned by the
+  /// sharded driver and must outlive the system.
+  struct ShardView {
+    int shard = 0;
+    int num_shards = 1;
+    const std::int32_t* cluster_owner = nullptr;  ///< size num_clusters
+    net::ShardRouter* router = nullptr;
+    bool active() const { return num_shards > 1; }
+  };
+
   struct Config {
     Params params;
     std::uint64_t seed = 1;
@@ -71,6 +90,9 @@ class FtGcsSystem {
     /// multiplying (κ, δ) on that edge — e.g. a WAN link whose estimate
     /// accuracy ε_e is 3× worse gets weight 3. Unlisted edges weigh 1.
     std::vector<std::tuple<int, int, double>> edge_weights;
+
+    /// Shard scoping; default = unsharded (every cluster owned).
+    ShardView shard;
   };
 
   FtGcsSystem(net::Graph cluster_graph, Config config);
@@ -89,6 +111,20 @@ class FtGcsSystem {
   bool is_correct(int node) const { return nodes_[node] != nullptr; }
   FtGcsNode& node(int id);
   const FtGcsNode& node(int id) const;
+
+  /// True iff this system instantiated node `id` (always true unsharded).
+  bool owns(int id) const {
+    const ShardView& view = config_.shard;
+    return !view.active() ||
+           view.cluster_owner[topo_.cluster_of(id)] == view.shard;
+  }
+
+  /// Drift events fired by this system's (per-shard) drift-model copy —
+  /// the sharded driver subtracts the duplicate copies' fires so the
+  /// reported event total matches the single-simulator engine.
+  std::uint64_t drift_ticks_fired() const {
+    return drift_ ? drift_->ticks_fired() : 0;
+  }
 
   /// The columnar per-node state bank backing the flat dispatch path.
   const NodeTable& node_table() const { return table_; }
@@ -129,6 +165,7 @@ class FtGcsSystem {
   std::vector<std::unique_ptr<byz::ByzantineNode>> byz_nodes_;
   NodeTable table_;  ///< columnar hot state; adopts the nodes' lanes
   std::unique_ptr<clocks::DriftModel> drift_;
+  std::vector<std::uint8_t> remote_flags_;  ///< per node; sharded mode only
   int num_correct_ = 0;
   bool started_ = false;
 };

@@ -87,104 +87,20 @@ void MaxEstimator::observe_own_clock(double logical, sim::Time now) {
   }
 }
 
-MaxEstimator::HeardWindow& MaxEstimator::heard_window(int cluster) {
+QuorumWindow& MaxEstimator::heard_window(int cluster) {
+  // Adopted span first: pre-labelled with every cluster that can
+  // physically reach this node, contiguous in the table's flat bank.
+  for (int i = 0; i < quorum_count_; ++i) {
+    if (quorum_[i].cluster == cluster) return quorum_[i];
+  }
+  // Fallback — standalone estimators (no table) and forged sender ids
+  // mapping to clusters no physical neighbor belongs to.
   for (auto& window : heard_) {
     if (window.cluster == cluster) return window;
   }
-  heard_.push_back(HeardWindow{});
+  heard_.push_back(QuorumWindow{});
   heard_.back().cluster = cluster;
   return heard_.back();
-}
-
-namespace {
-
-int set_and_count(std::vector<std::uint64_t>& words, std::size_t offset,
-                  std::size_t n_words, int member_index) {
-  words[offset + static_cast<std::size_t>(member_index) / 64] |=
-      std::uint64_t{1} << (member_index % 64);
-  int heard = 0;
-  for (std::size_t w = 0; w < n_words; ++w) {
-    heard += std::popcount(words[offset + w]);
-  }
-  return heard;
-}
-
-}  // namespace
-
-int MaxEstimator::heard_insert(HeardWindow& window, int level,
-                               int member_index) {
-  // Slide the base up to the staleness floor: levels below next_level_ − 1
-  // are filtered on arrival, so their masks can never be read again.
-  const int floor = next_level_ > 1 ? next_level_ - 1 : 1;
-  if (window.base < floor) {
-    const auto drop =
-        std::min(window.bits.size(),
-                 static_cast<std::size_t>(floor - window.base) * window.words);
-    window.bits.erase(window.bits.begin(),
-                      window.bits.begin() + static_cast<long>(drop));
-    window.base = floor;
-  }
-  // Regrow the per-level stride if this cluster has members beyond the
-  // current word capacity (k > 64·words; rare, done once per growth).
-  const auto need_words =
-      static_cast<std::size_t>(member_index) / 64 + 1;
-  if (need_words > window.words) {
-    const std::size_t levels =
-        (window.bits.size() + window.words - 1) / window.words;
-    std::vector<std::uint64_t> wider(levels * need_words, 0);
-    for (std::size_t l = 0; l < levels; ++l) {
-      for (std::size_t w = 0; w < window.words; ++w) {
-        wider[l * need_words + w] = window.bits[l * window.words + w];
-      }
-    }
-    window.bits = std::move(wider);
-    window.words = need_words;
-    for (auto& [lvl, mask] : window.overflow) mask.resize(need_words, 0);
-  }
-  FTGCS_ASSERT(level >= window.base);
-
-  // Migrate overflow levels that the advanced base pulled into range, and
-  // drop the stale ones, before deciding where `level` lives.
-  for (std::size_t i = 0; i < window.overflow.size();) {
-    const int lvl = window.overflow[i].first;
-    if (lvl >= window.base + kWindowLevels) {
-      ++i;
-      continue;
-    }
-    if (lvl >= window.base) {
-      const auto offset =
-          static_cast<std::size_t>(lvl - window.base) * window.words;
-      if (offset + window.words > window.bits.size()) {
-        window.bits.resize(offset + window.words, 0);
-      }
-      for (std::size_t w = 0; w < window.words; ++w) {
-        window.bits[offset + w] |= window.overflow[i].second[w];
-      }
-    }
-    window.overflow[i] = std::move(window.overflow.back());
-    window.overflow.pop_back();
-  }
-
-  if (level - window.base >= kWindowLevels) {
-    // Far-future level (forged, or an extreme ramp): sparse path, O(1)
-    // memory per distinct level — the old map's cost model.
-    for (auto& [lvl, mask] : window.overflow) {
-      if (lvl == level) {
-        return set_and_count(mask, 0, window.words, member_index);
-      }
-    }
-    window.overflow.emplace_back(
-        level, std::vector<std::uint64_t>(window.words, 0));
-    return set_and_count(window.overflow.back().second, 0, window.words,
-                         member_index);
-  }
-
-  const auto offset =
-      static_cast<std::size_t>(level - window.base) * window.words;
-  if (offset + window.words > window.bits.size()) {
-    window.bits.resize(offset + window.words, 0);
-  }
-  return set_and_count(window.bits, offset, window.words, member_index);
 }
 
 void MaxEstimator::on_level_pulse(int cluster, int member_index,
@@ -194,7 +110,9 @@ void MaxEstimator::on_level_pulse(int cluster, int member_index,
   // quorum, so it is dropped rather than tracked).
   if (from_self || level < 1 || level < next_level_ - 1) return;
   FTGCS_EXPECTS(member_index >= 0);
-  const int heard = heard_insert(heard_window(cluster), level, member_index);
+  const int floor = next_level_ > 1 ? next_level_ - 1 : 1;
+  const int heard =
+      quorum_insert(heard_window(cluster), level, member_index, floor);
   if (heard < cfg_.f + 1) return;
 
   // f+1 distinct members of one cluster reached level ℓ: at least one is

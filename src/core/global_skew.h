@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/quorum_window.h"
 #include "sim/simulator.h"
 
 namespace ftgcs::core {
@@ -79,6 +80,19 @@ class MaxEstimator final : public sim::EventSink {
     publish_floor();
   }
 
+  /// Adopts the node's quorum windows from the system's columnar table
+  /// (see core/quorum_window.h): `windows[0..count)` is a flat span, one
+  /// pre-labelled window per cluster that can physically reach this node.
+  /// Must be bound before any level pulse is processed. Without a table
+  /// (standalone estimators in unit tests) the private fallback vector is
+  /// used — same records, same insert, bit-identical counts.
+  void bind_quorum(QuorumWindow* windows, int count) {
+    FTGCS_EXPECTS(windows != nullptr && count >= 0);
+    FTGCS_EXPECTS(heard_.empty());  // bind before traffic
+    quorum_ = windows;
+    quorum_count_ = count;
+  }
+
   std::uint64_t jumps() const { return jumps_; }
   int highest_level_sent() const { return next_level_ - 1; }
 
@@ -108,35 +122,20 @@ class MaxEstimator final : public sim::EventSink {
   sim::EventId pending_emit_{};
   bool halted_ = false;
 
-  /// Distinct member indices heard per (cluster, level), kept flat: one
-  /// entry per sending cluster (linear scan — degrees are small), holding
-  /// a sliding window of member bitmasks indexed by level − base. Levels
-  /// below next_level_ − 1 are stale by the staleness filter, so the
-  /// window's base advances with next_level_ and the structure stays tiny
-  /// — and, unlike the map-of-map-of-set it replaces, processing a level
-  /// pulse allocates nothing once the window is warm. Each level owns
-  /// `words` 64-bit words; the stride regrows (rare) if a member index
-  /// ≥ 64·words appears, so any cluster size k is supported.
-  /// Dense levels span at most kWindowLevels above the base; levels past
-  /// that (reachable only via forged pulses or extreme ramps) go to the
-  /// sparse `overflow` list, so a Byzantine kMaxLevel pulse with a huge
-  /// level costs one small allocation — as with the old map — instead of
-  /// an O(level) window resize.
-  static constexpr int kWindowLevels = 4096;
-  struct HeardWindow {
-    int cluster = -1;
-    int base = 1;          ///< level of the first stride block
-    std::size_t words = 1; ///< 64-bit words per level
-    std::vector<std::uint64_t> bits;  ///< bits[(level − base)·words + w]
-    /// (level, member bitmask words) for levels ≥ base + kWindowLevels.
-    std::vector<std::pair<int, std::vector<std::uint64_t>>> overflow;
-  };
-  HeardWindow& heard_window(int cluster);
-  /// Sets `member_index`'s bit for `level` and returns the number of
-  /// distinct members heard at that level.
-  int heard_insert(HeardWindow& window, int level, int member_index);
+  /// Distinct member indices heard per (cluster, level): one QuorumWindow
+  /// per sending cluster (linear scan — degrees are small). The record
+  /// layout and the insert primitive live in core/quorum_window.h, shared
+  /// with NodeTable: inside a system the windows are a span of the table's
+  /// flat columnar bank (quorum_ / quorum_count_, pre-labelled with every
+  /// cluster that can physically reach the node); standalone estimators
+  /// fall back to the private heard_ vector (lazily grown, as before).
+  /// A window for a cluster outside the adopted span — reachable only via
+  /// a forged sender id — falls back to heard_ as well.
+  QuorumWindow& heard_window(int cluster);
 
-  std::vector<HeardWindow> heard_;
+  QuorumWindow* quorum_ = nullptr;  ///< adopted span (see bind_quorum)
+  int quorum_count_ = 0;
+  std::vector<QuorumWindow> heard_;  ///< fallback: standalone / forged ids
   std::uint64_t jumps_ = 0;
   bool started_ = false;
 };

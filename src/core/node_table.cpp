@@ -50,8 +50,12 @@ void NodeTable::build(const net::AugmentedTopology& topo,
 
   // Allocate every lane and arrival slot up front: adoption hands out raw
   // pointers into these vectors, so they must never reallocate again.
+  // Quorum windows share the lane index space (one window per observed
+  // cluster — the clusters whose members can physically reach the node);
+  // their cluster labels are filled alongside the lane labels below.
   lane_cluster_.assign(total_lanes, -1);
   lanes_.assign(total_lanes, ReceiveLane{});
+  quorum_windows_.assign(total_lanes, QuorumWindow{});
   if (k_ > ReceiveLane::kInlineArrivals) {
     // Large clusters spill their arrival slots to an external bank; the
     // common k = 3f+1 ≤ 8 lives inside the lanes themselves.
@@ -68,6 +72,7 @@ void NodeTable::build(const net::AugmentedTopology& topo,
         static_cast<std::size_t>(lane_offset_[static_cast<std::size_t>(id)]);
     const auto adopt = [&](ClusterSyncEngine& engine, int observed) {
       lane_cluster_[lane] = observed;
+      quorum_windows_[lane].cluster = observed;
       double* external =
           arrivals_bank_.empty()
               ? nullptr

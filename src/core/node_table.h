@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/quorum_window.h"
 #include "core/receive_lane.h"
 #include "net/network.h"
 #include "sim/event.h"
@@ -117,6 +118,18 @@ class NodeTable final : public net::ClusterPulseTable {
            lane_offset_[static_cast<std::size_t>(node)];
   }
 
+  /// kMaxLevel quorum windows of a managed node (MaxEstimator adoption,
+  /// see core/quorum_window.h): one pre-labelled window per cluster that
+  /// can physically reach the node — its own cluster first, then the
+  /// adjacent clusters in estimates order. Parallel to the lane span
+  /// (same offsets, same cluster labels), so a shard slice carries the
+  /// quorum state in the same flat walk as the receive lanes.
+  QuorumWindow* quorum_span(int node) {
+    return quorum_windows_.data() +
+           lane_offset_[static_cast<std::size_t>(node)];
+  }
+  int quorum_count(int node) const { return lane_count(node); }
+
   int num_nodes() const { return static_cast<int>(cluster_.size()); }
 
  private:
@@ -134,6 +147,9 @@ class NodeTable final : public net::ClusterPulseTable {
   std::vector<std::int32_t> lane_cluster_;  ///< observed cluster
   std::vector<ReceiveLane> lanes_;
   std::vector<double> arrivals_bank_;  ///< k slots per lane (NaN = unheard)
+  /// kMaxLevel quorum windows, parallel to lanes_ (indexed by the same
+  /// lane_offset_ spans; window i counts pulses from lane_cluster_[i]).
+  std::vector<QuorumWindow> quorum_windows_;
 };
 
 }  // namespace ftgcs::core

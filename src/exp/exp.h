@@ -13,8 +13,9 @@
 //   exp::TableSink().write(runner.run(*spec), std::cout);
 #pragma once
 
-#include "exp/registry.h"  // named scenario registry + built-ins
-#include "exp/run.h"       // single-run resolution & execution
-#include "exp/scenario.h"  // declarative ScenarioSpec value types
-#include "exp/sinks.h"     // table / CSV / JSON-lines renderings
-#include "exp/sweep.h"     // parallel grid runner
+#include "exp/registry.h"        // named scenario registry + built-ins
+#include "exp/run.h"             // single-run resolution & execution
+#include "exp/scenario.h"        // declarative ScenarioSpec value types
+#include "exp/sinks.h"           // table / CSV / JSON-lines renderings
+#include "exp/sweep.h"           // parallel grid runner
+#include "exp/topology_graph.h"  // resolved adjacency + delay bounds

@@ -6,9 +6,13 @@
 
 #include "clocks/drift_model.h"
 #include "core/ftgcs_system.h"
+#include "exp/topology_graph.h"
 #include "gcs/gcs_system.h"
 #include "metrics/skew_tracker.h"
 #include "net/augmented.h"
+#include "net/channel.h"
+#include "par/partition.h"
+#include "par/sharded_system.h"
 #include "support/assert.h"
 
 namespace ftgcs::exp {
@@ -102,14 +106,50 @@ struct SampleMaxima {
   double max_m_lag = 0.0;
 };
 
-RunResult::QueueTiers queue_tiers(const sim::Simulator& simulator) {
-  const sim::EventQueue::TierStats& stats = simulator.queue_stats();
+RunResult::QueueTiers queue_tiers(const sim::EventQueue::TierStats& stats) {
   RunResult::QueueTiers tiers;
   tiers.bucket_count = static_cast<double>(stats.bucket_count);
   tiers.rung_spawns = static_cast<double>(stats.rung_spawns);
   tiers.overflow_peak = static_cast<double>(stats.overflow_peak);
   tiers.reseeds = static_cast<double>(stats.reseeds);
   return tiers;
+}
+
+// Uniform accessors over the two FT-GCS execution backends (the single
+// simulator and the sharded conservative-parallel driver), so one
+// measurement loop serves both and the metric schema cannot drift apart.
+sim::Time system_now(core::FtGcsSystem& s) { return s.simulator().now(); }
+sim::Time system_now(const par::ShardedFtGcsSystem& s) { return s.now(); }
+std::uint64_t system_events(core::FtGcsSystem& s) {
+  return s.simulator().fired_events();
+}
+std::uint64_t system_events(const par::ShardedFtGcsSystem& s) {
+  return s.fired_events();
+}
+std::uint64_t system_messages(core::FtGcsSystem& s) {
+  return s.network().messages_sent();
+}
+std::uint64_t system_messages(const par::ShardedFtGcsSystem& s) {
+  return s.messages_sent();
+}
+RunResult::QueueTiers system_queue(core::FtGcsSystem& s) {
+  return queue_tiers(s.simulator().queue_stats());
+}
+RunResult::QueueTiers system_queue(const par::ShardedFtGcsSystem& s) {
+  return queue_tiers(s.queue_stats());
+}
+RunResult::ShardDiag system_shard_diag(core::FtGcsSystem&) {
+  return {};
+}
+RunResult::ShardDiag system_shard_diag(const par::ShardedFtGcsSystem& s) {
+  const par::ShardedFtGcsSystem::ShardStats stats = s.shard_stats();
+  RunResult::ShardDiag diag;
+  diag.shards = static_cast<double>(stats.shards);
+  diag.cut_edges = static_cast<double>(stats.cut_edges);
+  diag.min_cut_delay = stats.min_cut_delay;
+  diag.windows = static_cast<double>(stats.windows);
+  diag.mailbox_peak = static_cast<double>(stats.mailbox_peak);
+  return diag;
 }
 
 /// Sample times: every probe interval, plus the horizon itself.
@@ -123,28 +163,16 @@ std::vector<double> sample_times(double horizon_rounds, double interval_rounds,
   return times;
 }
 
-RunResult run_ftgcs(const ResolvedRun& run) {
+/// Runs the probe loop and assembles the metric schema against either
+/// FT-GCS backend (single simulator or sharded). Every metric is computed
+/// from merged ground truth + summed counters, so the rows are
+/// bit-identical across backends and shard counts.
+template <class System>
+RunResult measure_ftgcs(System& system, const ResolvedRun& run,
+                        const net::AugmentedTopology& topo) {
   const core::Params& params = run.params;
-  net::AugmentedTopology topo(run.graph, params.k);
   const int clusters = topo.num_clusters();
   const int diameter = run.graph.diameter();
-
-  core::FtGcsSystem::Config config;
-  config.params = params;
-  config.seed = run.seed;
-  config.engine = run.engine;
-  config.replicas_know_offsets = run.replicas_know_offsets;
-  config.drift_model =
-      build_drift(run.drift, params, clusters, params.k, run.seed);
-  config.fault_plan = run.fault_plan;
-  if (run.gap_rounds > 0) {
-    for (int c = 0; c < clusters; ++c) {
-      config.cluster_round_offsets.push_back(c * run.gap_rounds);
-    }
-  }
-
-  core::FtGcsSystem system(run.graph, std::move(config));
-  system.start();
 
   SampleMaxima agg;
   const double steady_after = run.steady_after_rounds * params.T;
@@ -172,7 +200,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
           lmax = std::max(lmax, columns.logical[static_cast<std::size_t>(id)]);
         }
       }
-      const sim::Time now = system.simulator().now();
+      const sim::Time now = system_now(system);
       for (int id = 0; id < topo.num_nodes(); ++id) {
         if (!system.is_correct(id)) continue;
         agg.max_m_lag = std::max(
@@ -194,8 +222,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
       s_init > 0.0 ? params.predicted_local_skew(s_init) : 0.0;
   const double band = params.predicted_global_skew(diameter);
   const double intra_bound = params.intra_cluster_skew_bound();
-  const double messages =
-      static_cast<double>(system.network().messages_sent());
+  const double messages = static_cast<double>(system_messages(system));
 
   RunResult result;
   result.seed = run.seed;
@@ -257,11 +284,69 @@ RunResult run_ftgcs(const ResolvedRun& run) {
   m.emplace_back("messages", messages);
   m.emplace_back("msgs_round_node",
                  messages / (run.horizon_rounds * topo.num_nodes()));
-  m.emplace_back("events",
-                 static_cast<double>(system.simulator().fired_events()));
+  m.emplace_back("events", static_cast<double>(system_events(system)));
   if (run.measure_m_lag) m.emplace_back("max_m_lag", agg.max_m_lag);
-  result.queue = queue_tiers(system.simulator());
+  result.queue = system_queue(system);
+  result.shard = system_shard_diag(system);
   return result;
+}
+
+RunResult run_ftgcs(const ResolvedRun& run) {
+  const core::Params& params = run.params;
+  net::AugmentedTopology topo(run.graph, params.k);
+  const int clusters = topo.num_clusters();
+
+  std::vector<int> offsets;
+  if (run.gap_rounds > 0) {
+    for (int c = 0; c < clusters; ++c) {
+      offsets.push_back(c * run.gap_rounds);
+    }
+  }
+
+  if (run.shards > 1) {
+    // The sharded backend needs a non-degenerate partition (≥ 2 effective
+    // shards and a positive conservative lookahead); otherwise fall
+    // through to the single-simulator engine below.
+    const net::UniformDelay delays(params.d, params.U);
+    par::ShardPlan plan = par::make_shard_plan(
+        build_topology_graph(topo, delays), run.shards);
+    if (!plan.degenerate()) {
+      par::ShardedFtGcsSystem::Config config;
+      config.params = params;
+      config.seed = run.seed;
+      config.engine = run.engine;
+      config.replicas_know_offsets = run.replicas_know_offsets;
+      config.fault_plan = run.fault_plan;
+      config.cluster_round_offsets = offsets;
+      config.shards = plan.num_shards;
+      config.plan = std::move(plan);  // probed above; skip the re-census
+      // Every shard replays the same rate draws: the factory rebuilds the
+      // model from the same spec and seed per shard.
+      if (run.drift.kind != DriftKind::kSpreadConstant) {
+        config.drift_factory = [&run, &params, clusters] {
+          return build_drift(run.drift, params, clusters, params.k,
+                             run.seed);
+        };
+      }
+      par::ShardedFtGcsSystem system(run.graph, std::move(config));
+      system.start();
+      return measure_ftgcs(system, run, topo);
+    }
+  }
+
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = run.seed;
+  config.engine = run.engine;
+  config.replicas_know_offsets = run.replicas_know_offsets;
+  config.drift_model =
+      build_drift(run.drift, params, clusters, params.k, run.seed);
+  config.fault_plan = run.fault_plan;
+  config.cluster_round_offsets = offsets;
+
+  core::FtGcsSystem system(run.graph, std::move(config));
+  system.start();
+  return measure_ftgcs(system, run, topo);
 }
 
 RunResult run_gcs_baseline(const ResolvedRun& run) {
@@ -313,7 +398,7 @@ RunResult run_gcs_baseline(const ResolvedRun& run) {
   m.emplace_back("final_global", agg.final_global);
   m.emplace_back("events",
                  static_cast<double>(system.simulator().fired_events()));
-  result.queue = queue_tiers(system.simulator());
+  result.queue = queue_tiers(system.simulator().queue_stats());
   return result;
 }
 
@@ -350,6 +435,7 @@ ResolvedRun resolve(const ScenarioSpec& spec, std::uint64_t seed) {
   run.graph = spec.topology.build();
   run.protocol = spec.protocol;
   run.engine = spec.engine;
+  run.shards = spec.shards;
   run.drift = spec.drift;
   run.baseline_mu = spec.params.mu;
   run.seed = seed;

@@ -26,6 +26,9 @@ struct ResolvedRun {
   net::Graph graph{1};
   ProtocolKind protocol = ProtocolKind::kFtGcs;
   sim::QueueBackend engine = sim::QueueBackend::kLadder;
+  /// Conservative-parallel shard count (1 = single simulator). The
+  /// effective count can be lower — see par::make_shard_plan.
+  int shards = 1;
   DriftSpec drift;
   byz::FaultPlan fault_plan;
   /// kGcsBaseline fast-mode speedup (from ParamsSpec::mu; 0 → 0.05). The
@@ -60,6 +63,19 @@ struct RunResult {
     double reseeds = 0.0;        ///< windows rebuilt from the overflow tier
   };
   QueueTiers queue;
+
+  /// Sharded-backend diagnostics (kept out of `metrics` for the same
+  /// reason: tables stay bit-identical at every `--shards T`, so the
+  /// partition geometry is `--timing` footer material, not a metric).
+  /// All zero when the run used the single-simulator engine.
+  struct ShardDiag {
+    double shards = 0.0;         ///< effective shard count (0 = unsharded)
+    double cut_edges = 0.0;      ///< directed node edges crossing the cut
+    double min_cut_delay = 0.0;  ///< conservative lookahead (d − u)
+    double windows = 0.0;        ///< safe windows executed
+    double mailbox_peak = 0.0;   ///< max cross-shard merge at one barrier
+  };
+  ShardDiag shard;
 
   bool has_metric(const std::string& name) const;
   double metric(const std::string& name) const;  ///< aborts if missing

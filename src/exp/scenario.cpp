@@ -195,6 +195,8 @@ void apply_axis(ScenarioSpec& spec, const std::string& name, double value) {
     spec.drift.flip_rounds = value;
   } else if (name == "probability") {
     spec.faults.probability = value;
+  } else if (name == "shards") {
+    spec.shards = as_int();
   } else {
     throw std::invalid_argument("unknown sweep axis '" + name + "'");
   }

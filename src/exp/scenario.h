@@ -203,6 +203,15 @@ struct ScenarioSpec {
   /// this for A/B throughput comparisons on any registered scenario.
   sim::QueueBackend engine = sim::QueueBackend::kLadder;
 
+  /// Shard count for the conservative-parallel backend (src/par/): > 1
+  /// stripes ONE run's cluster graph over that many worker threads in
+  /// lock-step safe windows. Tables are bit-identical for every shard
+  /// count (pinned by tests/test_par_shards.cpp), so `ftgcs_bench
+  /// --shards T` — or the "shards" sweep axis — is a pure throughput
+  /// toggle like --engine. FT-GCS protocol only; the baseline and
+  /// degenerate partitions fall back to the single-simulator engine.
+  int shards = 1;
+
   std::vector<std::uint64_t> seeds = {1};
   SeedAggregation aggregation = SeedAggregation::kPerSeed;
 
@@ -222,7 +231,7 @@ struct ScenarioSpec {
 /// Writes one axis assignment into the spec. Supported axis names:
 ///   diameter, clusters, gap_rounds, gap_kappa, f, cluster_size,
 ///   faults_per_cluster, strategy, attacked, rho, d, U, mu, phi,
-///   horizon_rounds, flip_rounds, probability
+///   horizon_rounds, flip_rounds, probability, shards
 /// Throws std::invalid_argument for anything else.
 void apply_axis(ScenarioSpec& spec, const std::string& name, double value);
 

@@ -148,6 +148,19 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     sweep.queue.max_overflow_peak =
         std::max(sweep.queue.max_overflow_peak, tiers.overflow_peak);
     sweep.queue.reseeds += tiers.reseeds;
+    const RunResult::ShardDiag& shard = results[i].shard;
+    if (shard.shards > 0.0) {
+      sweep.shard.min_cut_delay =
+          sweep.shard.shards > 0.0
+              ? std::min(sweep.shard.min_cut_delay, shard.min_cut_delay)
+              : shard.min_cut_delay;
+      sweep.shard.shards = std::max(sweep.shard.shards, shard.shards);
+      sweep.shard.max_cut_edges =
+          std::max(sweep.shard.max_cut_edges, shard.cut_edges);
+      sweep.shard.windows += shard.windows;
+      sweep.shard.max_mailbox_peak =
+          std::max(sweep.shard.max_mailbox_peak, shard.mailbox_peak);
+    }
   }
 
   const auto row_timing = [&](std::size_t first_task, std::size_t n_tasks) {

@@ -53,6 +53,18 @@ struct SweepResult {
     double reseeds = 0.0;
   };
   QueueTierTotals queue;
+
+  /// Sharded-backend diagnostics aggregated over tasks (maxima for
+  /// geometry/occupancy, sums for window counts) — `--timing` footer
+  /// material, like the queue tiers. All zero when no task ran sharded.
+  struct ShardTotals {
+    double shards = 0.0;          ///< max effective shard count
+    double max_cut_edges = 0.0;
+    double min_cut_delay = 0.0;   ///< min over sharded tasks
+    double windows = 0.0;         ///< sum
+    double max_mailbox_peak = 0.0;
+  };
+  ShardTotals shard;
 };
 
 struct SweepOptions {

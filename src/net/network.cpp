@@ -92,6 +92,13 @@ void Network::set_cluster_dispatch(ClusterPulseTable* table,
   dispatch_fast_ = fast;
 }
 
+void Network::set_shard_router(ShardRouter* router,
+                               const std::uint8_t* remote) {
+  FTGCS_EXPECTS(router != nullptr && remote != nullptr);
+  router_ = router;
+  remote_ = remote;
+}
+
 const std::vector<int>& Network::neighbors(int node) const {
   FTGCS_EXPECTS(node >= 0 && node < num_nodes());
   return adjacency_[node];
@@ -111,13 +118,17 @@ sim::Rng& Network::edge_rng(int from, int to) {
                       [static_cast<std::size_t>(it - nb.begin())];
 }
 
-void Network::post_delivery(sim::EventPayload& payload, int to,
+void Network::post_delivery(int from, sim::EventPayload& payload, int to,
                             sim::Duration delay) {
   FTGCS_EXPECTS(to >= 0 && to < num_nodes());
   FTGCS_EXPECTS(delay >= delays_->min_delay() - sim::kTimeEps &&
                 delay <= delays_->max_delay() + sim::kTimeEps);
   ++messages_sent_;
   payload.c = to;  // re-aim the shared payload; everything else is fixed
+  if (remote_ != nullptr && remote_[static_cast<std::size_t>(to)] != 0) {
+    router_->remote_deliver(from, sim_.now() + delay, payload);
+    return;
+  }
   // Deliveries are never cancelled: the fire-only path keeps the payload
   // inline in the queue — no slot pool traffic on the dominant path.
   sim_.post_fire_only_after(delay, sim::EventKind::kPulse, self_, payload);
@@ -125,9 +136,8 @@ void Network::post_delivery(sim::EventPayload& payload, int to,
 
 void Network::deliver(int from, int to, const Pulse& pulse,
                       sim::Duration delay) {
-  (void)from;
   sim::EventPayload payload = encode(pulse, to);
-  post_delivery(payload, to, delay);
+  post_delivery(from, payload, to, delay);
 }
 
 void Network::on_event(sim::EventKind kind, const sim::EventPayload& payload,
@@ -182,10 +192,25 @@ void Network::broadcast(int from, const Pulse& pulse) {
                    loopback_streams_[static_cast<std::size_t>(from)]),
       sim::EventKind::kPulse, self_, payload);
   auto& streams = edge_streams_[static_cast<std::size_t>(from)];
+  if (remote_ == nullptr) {  // unsharded: the dominant, branch-free loop
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      payload.c = neighbors[j];  // re-aim; everything else is fixed
+      sim_.post_fire_only_after(sample_delay(from, neighbors[j], streams[j]),
+                                sim::EventKind::kPulse, self_, payload);
+    }
+    return;
+  }
+  // Sharded: identical draws and encode-once re-aiming, but deliveries
+  // crossing the shard cut divert to the router with their arrival time.
   for (std::size_t j = 0; j < neighbors.size(); ++j) {
-    payload.c = neighbors[j];  // re-aim; everything else is fixed
-    sim_.post_fire_only_after(sample_delay(from, neighbors[j], streams[j]),
-                              sim::EventKind::kPulse, self_, payload);
+    payload.c = neighbors[j];
+    const sim::Duration delay = sample_delay(from, neighbors[j], streams[j]);
+    if (remote_[static_cast<std::size_t>(neighbors[j])] != 0) {
+      router_->remote_deliver(from, sim_.now() + delay, payload);
+    } else {
+      sim_.post_fire_only_after(delay, sim::EventKind::kPulse, self_,
+                                payload);
+    }
   }
 }
 

@@ -74,6 +74,25 @@ class ClusterPulseTable {
                             std::size_t n) = 0;
 };
 
+/// Receiver of deliveries that leave the local shard of a sharded run.
+/// The network samples the channel delay exactly as it would for a local
+/// delivery (same per-directed-edge RNG stream, same draw order — the
+/// draws are partition-invariant) and then hands the *arrival time* plus
+/// the encoded kPulse payload to the router instead of its own simulator.
+/// The router (par::ShardedFtGcsSystem) appends it to the source→dest
+/// shard mailbox; the destination shard replays it at the safe-window
+/// barrier via sim::Simulator::post_fire_only_at.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+  /// `from` is the physical sender (routing/ordering key — Byzantine
+  /// senders may forge payload.a, but not the edge they send on),
+  /// `at` the absolute arrival time, `payload` the encoded kPulse event
+  /// (payload.c = destination node).
+  virtual void remote_deliver(int from, sim::Time at,
+                              const sim::EventPayload& payload) = 0;
+};
+
 class Network final : public sim::EventSink {
  public:
   /// Legacy closure handler; adapted onto PulseSink (cold path, used by
@@ -108,6 +127,13 @@ class Network final : public sim::EventSink {
 
   /// This network's typed-event sink id (for Simulator::set_batch_channel).
   sim::SinkId sink_id() const { return self_; }
+
+  /// Sharded mode: deliveries whose destination has `remote[dest] != 0`
+  /// are diverted to `router` (with their sampled arrival time) instead of
+  /// being scheduled locally. Delay sampling is unchanged either way, so
+  /// per-edge RNG draw order is identical to an unsharded run. Both
+  /// pointers are owned by the caller and must outlive the network.
+  void set_shard_router(ShardRouter* router, const std::uint8_t* remote);
 
   /// Correct-node broadcast: delivers to all neighbors and to self. The
   /// delivery group is pre-sampled as one batch.
@@ -144,7 +170,9 @@ class Network final : public sim::EventSink {
  private:
   /// Bounds-checks and schedules one delivery of `payload` re-aimed at
   /// `to` (shared by a whole broadcast group — encode once, aim N times).
-  void post_delivery(sim::EventPayload& payload, int to, sim::Duration delay);
+  /// `from` is the physical sender, used only for cut-edge routing.
+  void post_delivery(int from, sim::EventPayload& payload, int to,
+                     sim::Duration delay);
   void deliver(int from, int to, const Pulse& pulse, sim::Duration delay);
   sim::Rng& edge_rng(int from, int to);
 
@@ -166,6 +194,8 @@ class Network final : public sim::EventSink {
   std::vector<std::unique_ptr<PulseSink>> owned_sinks_;  // legacy adapters
   ClusterPulseTable* dispatch_ = nullptr;   ///< columnar fast path (optional)
   const std::uint8_t* dispatch_fast_ = nullptr;  ///< per-dest fast flags
+  ShardRouter* router_ = nullptr;           ///< cut-edge diversion (optional)
+  const std::uint8_t* remote_ = nullptr;    ///< per-dest off-shard flags
   // One stream per directed edge, keyed densely: edge_streams_[from] maps
   // position-in-adjacency-list -> Rng; loopback stream is separate.
   std::vector<std::vector<sim::Rng>> edge_streams_;

@@ -1,0 +1,78 @@
+// Cross-shard delivery mailboxes for the conservative-parallel backend.
+//
+// One vector per ordered shard pair (src, dst). During a safe window only
+// thread `src` appends to box (src → dst) and nobody reads it — an SPSC
+// channel whose synchronization point is the window barrier itself: the
+// barrier's happens-before edge publishes every append to the destination
+// thread, so the boxes need no atomics or locks.
+//
+// Merge order is the determinism lever. At the barrier the destination
+// shard gathers its inbound boxes and sorts by (arrival time, physical
+// sender id, per-sender remote-send sequence) before seeding its queue.
+// That key is invariant under the shard count: a node's send order is a
+// property of its own (partition-invariant) execution, not of which
+// shards its audience landed in, so any two runs — and the T = 1 single
+// simulator — order equal-time cross-shard arrivals identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event.h"
+#include "sim/time_types.h"
+#include "support/assert.h"
+
+namespace ftgcs::par {
+
+struct RemoteEvent {
+  sim::Time at = 0.0;          ///< absolute arrival time (sampled at send)
+  sim::EventPayload payload;   ///< encoded kPulse event (c = destination)
+  std::int32_t from = -1;      ///< physical sender node
+  std::uint64_t seq = 0;       ///< per-sender remote-send sequence
+};
+
+inline bool remote_event_before(const RemoteEvent& a, const RemoteEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  if (a.from != b.from) return a.from < b.from;
+  return a.seq < b.seq;
+}
+
+class MailboxGrid {
+ public:
+  explicit MailboxGrid(int shards) : shards_(shards) {
+    FTGCS_EXPECTS(shards >= 1);
+    boxes_.resize(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(shards));
+  }
+
+  /// Writer side (thread `src`, inside a window).
+  void push(int src, int dst, const RemoteEvent& event) {
+    boxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(shards_) +
+           static_cast<std::size_t>(dst)]
+        .push_back(event);
+  }
+
+  /// Reader side (thread `dst`, at a barrier): moves every inbound entry
+  /// into `out` (cleared first) in deterministic merged order and empties
+  /// the boxes. Returns the number of entries merged.
+  std::size_t drain_inbound(int dst, std::vector<RemoteEvent>& out) {
+    out.clear();
+    for (int src = 0; src < shards_; ++src) {
+      auto& box =
+          boxes_[static_cast<std::size_t>(src) *
+                     static_cast<std::size_t>(shards_) +
+                 static_cast<std::size_t>(dst)];
+      out.insert(out.end(), box.begin(), box.end());
+      box.clear();  // keeps capacity; the steady state allocates nothing
+    }
+    std::sort(out.begin(), out.end(), remote_event_before);
+    return out.size();
+  }
+
+ private:
+  int shards_;
+  std::vector<std::vector<RemoteEvent>> boxes_;  ///< [src · T + dst]
+};
+
+}  // namespace ftgcs::par

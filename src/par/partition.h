@@ -1,0 +1,45 @@
+// Spatial shard partitioning for the conservative-parallel backend.
+//
+// Shards are contiguous, balanced ranges of CLUSTER ids ("striped"): for
+// the grid/torus generators cluster ids are row-major, so contiguous
+// ranges are horizontal strips — spatial cuts with O(side) cut edges per
+// boundary; for rings and lines they are arcs/segments. Clusters are
+// never split across shards: the cluster clique (and with it all
+// intra-cluster traffic, the Byzantine reference-round wiring and the
+// quorum lanes) stays shard-local by construction, and only inter-cluster
+// edges can cross the cut.
+//
+// The plan's lookahead is min_cut_delay = min over directed cut edges of
+// that edge's minimum message delay (the paper's d − u > 0). That is the
+// safe-window width: if every shard has processed all events strictly
+// before barrier time B, then any message a shard sends inside the window
+// [B, B + min_cut_delay) arrives at ≥ B + min_cut_delay — in a later
+// window — so the shards cannot affect each other inside one window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/topology_graph.h"
+
+namespace ftgcs::par {
+
+struct ShardPlan {
+  int num_shards = 1;                    ///< effective count (≤ requested)
+  std::vector<std::int32_t> cluster_owner;  ///< shard per cluster id
+  std::vector<std::int32_t> node_owner;     ///< shard per node id (derived)
+  std::size_t cut_edges = 0;  ///< directed node-level edges crossing shards
+  double min_cut_delay = 0.0; ///< lookahead; 0 when nothing crosses
+  /// Requested T could not be honored (T ≤ 1 after clamping to the
+  /// cluster count, or a degenerate zero lookahead): the caller must run
+  /// the ordinary single-simulator engine.
+  bool degenerate() const { return num_shards <= 1; }
+};
+
+/// Stripes `graph` into (up to) `shards` shards. Clamps to the cluster
+/// count; collapses to a single shard when the cut lookahead degenerates
+/// (min edge delay ≤ 0 — an instantaneous channel admits no conservative
+/// window).
+ShardPlan make_shard_plan(const exp::TopologyGraph& graph, int shards);
+
+}  // namespace ftgcs::par

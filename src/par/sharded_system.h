@@ -1,0 +1,171 @@
+// Sharded conservative-parallel execution of ONE FT-GCS run.
+//
+// The sweep runner parallelizes across scenario tasks; this backend
+// parallelizes inside a single large run. The cluster graph is striped
+// into T shards (par/partition.h); each shard owns a full FtGcsSystem
+// instance scoped to its clusters — its own Simulator + EventQueue,
+// Network, NodeTable slice and worker thread — and all shards advance in
+// lock-step safe windows of width
+//
+//     W = min_cut_delay = min over cut edges of (d − u),
+//
+// the paper's minimum message delay. Inside a window [B, B + W) every
+// shard drains its queue locally (pure-receive pulse runs still batch
+// through the pop_run channel); a delivery crossing the cut is appended,
+// with its sampled arrival time, to the source→destination SPSC mailbox.
+// Any such arrival is ≥ B + W, i.e. in a later window, so shards cannot
+// affect each other mid-window; at the barrier each shard merges its
+// inbound mailboxes in deterministic (time, sender, sender-seq) order and
+// seeds them into its queue before the next window.
+//
+// Determinism is a hard invariant, not best-effort: construction forks
+// node RNGs by id, channel streams per directed edge, and drift draws per
+// node index — all partition-invariant — so every node's execution, and
+// therefore the scenario tables, are bit-identical to the single-threaded
+// engine for every T (pinned by tests/test_par_shards.cpp). The one
+// boundary: two *distinct* senders whose pulses reach the same node at
+// exactly the same instant are ordered (sender, seq) here but global-FIFO
+// in the single simulator; with continuously-sampled channel delays such
+// cross-sender ties do not occur.
+//
+// When the plan degenerates (T ≤ 1 after clamping, or a zero lookahead)
+// callers must fall back to the ordinary FtGcsSystem — see
+// ShardPlan::degenerate().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "byz/fault_plan.h"
+#include "clocks/drift_model.h"
+#include "core/ftgcs_system.h"
+#include "core/node_table.h"
+#include "core/params.h"
+#include "net/graph.h"
+#include "par/mailbox.h"
+#include "par/partition.h"
+#include "sim/backend.h"
+#include "sim/event_queue.h"
+#include "sim/time_types.h"
+
+namespace ftgcs::par {
+
+class ShardedFtGcsSystem {
+ public:
+  struct Config {
+    core::Params params;
+    std::uint64_t seed = 1;
+    sim::QueueBackend engine = sim::QueueBackend::kLadder;
+    bool enable_global_module = true;
+    bool replicas_know_offsets = true;
+    byz::FaultPlan fault_plan;
+    std::vector<int> cluster_round_offsets;
+    /// Requested shard count; the effective count after clamping is
+    /// ShardPlan-driven (see num_shards()). Must be ≥ 2 — a degenerate
+    /// plan belongs on the single-simulator engine, which the caller
+    /// selects via make_shard_plan() BEFORE constructing this.
+    int shards = 2;
+    /// Optional pre-computed plan for this exact (graph, params.k,
+    /// shards) triple — callers that already probed make_shard_plan()
+    /// for degeneracy (exp::run_ftgcs) pass it in so construction does
+    /// not redo the O(nodes + edges) cut census. Leave default
+    /// (num_shards == 1) to have the constructor compute it.
+    ShardPlan plan;
+    /// Builds one drift model per shard. Called T times; every copy MUST
+    /// be identically seeded (the copies replay the same per-node-index
+    /// draws; each shard applies only its own nodes' rates). nullptr →
+    /// the system default (deterministically spread constant drift).
+    std::function<std::unique_ptr<clocks::DriftModel>()> drift_factory;
+  };
+
+  /// Deterministic, engine-independent diagnostics of one sharded run
+  /// (reported via the --timing footer, never mixed into metric tables).
+  struct ShardStats {
+    int shards = 1;
+    std::size_t cut_edges = 0;
+    double min_cut_delay = 0.0;
+    std::uint64_t windows = 0;       ///< safe windows executed
+    std::size_t mailbox_peak = 0;    ///< max entries merged at one barrier
+  };
+
+  ShardedFtGcsSystem(net::Graph cluster_graph, Config config);
+  ~ShardedFtGcsSystem();
+
+  ShardedFtGcsSystem(const ShardedFtGcsSystem&) = delete;
+  ShardedFtGcsSystem& operator=(const ShardedFtGcsSystem&) = delete;
+
+  /// Starts every shard at the global time-0 initialization.
+  void start();
+
+  /// Advances every shard to exactly `t` through lock-step safe windows.
+  void run_until(sim::Time t);
+
+  sim::Time now() const { return now_; }
+  int num_shards() const { return plan_.num_shards; }
+  const ShardPlan& plan() const { return plan_; }
+  const net::AugmentedTopology& topology() const {
+    return shards_.front()->topology();
+  }
+  const core::Params& params() const { return shards_.front()->params(); }
+
+  /// Merged ground-truth snapshot (each node read from its owner shard).
+  void snapshot_columns(core::SystemColumns& out) const;
+
+  bool is_correct(int id) const { return owner(id).is_correct(id); }
+  core::FtGcsNode& node(int id) { return owner(id).node(id); }
+  const core::FtGcsNode& node(int id) const { return owner(id).node(id); }
+
+  // ---- aggregated counters (single-simulator-equivalent totals) -------------
+  /// Events the single-simulator engine would have fired: the sum over
+  /// shards, minus the duplicate drift ticks of the per-shard model
+  /// copies (every shard replays the same tick schedule).
+  std::uint64_t fired_events() const;
+  std::uint64_t messages_sent() const;
+  std::uint64_t total_violations() const;
+  /// Queue-tier diagnostics reduced over shards (max for occupancy
+  /// figures, sum for event counters).
+  sim::EventQueue::TierStats queue_stats() const;
+  ShardStats shard_stats() const;
+
+ private:
+  class Router;
+
+  core::FtGcsSystem& owner(int id) {
+    return *shards_[static_cast<std::size_t>(
+        plan_.node_owner[static_cast<std::size_t>(id)])];
+  }
+  const core::FtGcsSystem& owner(int id) const {
+    return *shards_[static_cast<std::size_t>(
+        plan_.node_owner[static_cast<std::size_t>(id)])];
+  }
+
+  /// One lock-step phase: every worker merges its inbound mailboxes into
+  /// its queue, then runs its simulator to `bound` (inclusive).
+  void phase(sim::Time bound);
+  void worker_loop(int shard);
+
+  ShardPlan plan_;
+  std::unique_ptr<MailboxGrid> mailboxes_;
+  std::vector<std::unique_ptr<Router>> routers_;      // one per shard
+  std::vector<std::unique_ptr<core::FtGcsSystem>> shards_;
+  std::vector<std::int32_t> first_node_;  ///< contiguous owned id ranges
+  double window_ = 0.0;                   ///< safe-window width (0 = ∞)
+
+  // ---- worker coordination (barrier-phased; see worker_loop) ----------------
+  std::vector<std::thread> workers_;
+  struct Phases;                       // two std::barrier phases
+  std::unique_ptr<Phases> phases_;
+  sim::Time bound_ = 0.0;              ///< driver → workers: run target
+  bool stop_ = false;                  ///< driver → workers: shut down
+  std::vector<std::vector<RemoteEvent>> merge_scratch_;  // per shard
+  std::vector<std::size_t> mailbox_peak_;                // per shard
+
+  sim::Time now_ = sim::kTimeZero;
+  std::uint64_t windows_ = 0;
+  mutable core::SystemColumns snapshot_scratch_;
+};
+
+}  // namespace ftgcs::par

@@ -60,6 +60,13 @@ void Simulator::post_fire_only_after(Duration dt, EventKind kind, SinkId sink,
   queue_.schedule_fire_only(now_ + dt, kind, sink, payload);
 }
 
+void Simulator::post_fire_only_at(Time t, EventKind kind, SinkId sink,
+                                  const EventPayload& payload) {
+  FTGCS_EXPECTS(t >= now_);
+  FTGCS_EXPECTS(sink < sinks_.size());
+  queue_.schedule_fire_only(t, kind, sink, payload);
+}
+
 void Simulator::dispatch(EventQueue::Fired& fired) {
   if (fired.kind == EventKind::kClosure) {
     fired.fn();

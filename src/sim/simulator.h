@@ -78,6 +78,13 @@ class Simulator {
   void post_fire_only_after(Duration dt, EventKind kind, SinkId sink,
                             const EventPayload& payload);
 
+  /// Absolute-time variant of post_fire_only_after. The sharded backend
+  /// seeds each shard's queue from merged cross-shard mailboxes, whose
+  /// entries carry the arrival times sampled on the *sending* shard —
+  /// those must be replayed exactly, not re-derived from now().
+  void post_fire_only_at(Time t, EventKind kind, SinkId sink,
+                         const EventPayload& payload);
+
   /// Cancels a pending event; no-op if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
