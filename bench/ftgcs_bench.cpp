@@ -25,7 +25,14 @@
 //                       simulator; tables are bit-identical at any T, so
 //                       this too is a pure throughput toggle; the
 //                       `--timing` footer reports the cut geometry)
+//   --trace PATH        stream every fired pulse delivery to a binary .ftr
+//                       trace (multi-task sweeps write PATH.taskN). The
+//                       bytes are identical at every --shards/--engine
+//                       choice; inspect with `ftgcs_trace`
+//   --no-monitors       disable the online invariant monitors (they are on
+//                       by default; results go to the --timing footer)
 //   --quiet             table only, no banner
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -49,7 +56,7 @@ using namespace ftgcs;
                "<scenario>> [--threads N] [--sink table|csv|jsonl] "
                "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
                "[--per-seed] [--timing] [--engine heap|ladder] "
-               "[--shards T] [--quiet]\n");
+               "[--shards T] [--trace PATH] [--no-monitors] [--quiet]\n");
   std::exit(code);
 }
 
@@ -191,6 +198,11 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
     } else if (arg == "--shards") {
       spec.shards = std::stoi(next());
       if (spec.shards < 1) usage(2);
+    } else if (arg == "--trace") {
+      spec.trace_path = next();
+      if (spec.trace_path.empty()) usage(2);
+    } else if (arg == "--no-monitors") {
+      spec.monitors = false;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--timing") {
@@ -235,6 +247,44 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
         std::printf("shards: requested %d, partition degenerate — ran the "
                     "single-simulator engine\n",
                     spec.shards);
+      }
+      // Monitor/trace status prints on EVERY --timing footer — including
+      // the degenerate single-simulator fallback above — so "off" is
+      // always an explicit statement, never an absence.
+      if (result.monitor.rows > 0.0) {
+        const exp::SweepResult::MonitorTotals& mon = result.monitor;
+        std::printf("monitors[on]: probes=%.0f violations=%.0f "
+                    "max_local=%.4g max_global=%.4g max_intra=%.4g",
+                    mon.probes, mon.violations, mon.max_local_skew,
+                    mon.max_global_skew, mon.max_intra);
+        if (std::isfinite(mon.min_local_margin)) {
+          std::printf(" local_margin=%.4g", mon.min_local_margin);
+        }
+        if (std::isfinite(mon.min_global_margin)) {
+          std::printf(" global_margin=%.4g", mon.min_global_margin);
+        }
+        if (std::isfinite(mon.min_intra_margin)) {
+          std::printf(" intra_margin=%.4g", mon.min_intra_margin);
+        }
+        std::printf("\n");
+        if (mon.has_violation) {
+          std::printf("monitors: FIRST VIOLATION %s value=%.6g bound=%.6g "
+                      "at t=%.6g task=%zu events=%llu trace_offset=%llu\n",
+                      mon.first.invariant, mon.first.value, mon.first.bound,
+                      mon.first.cursor.at, mon.first_task,
+                      static_cast<unsigned long long>(mon.first.cursor.events),
+                      static_cast<unsigned long long>(
+                          mon.first.cursor.trace_offset));
+        }
+      } else {
+        std::printf("monitors=off\n");
+      }
+      if (result.trace.files > 0.0) {
+        std::printf("trace[on]: files=%.0f records=%.0f bytes=%.0f (%s)\n",
+                    result.trace.files, result.trace.records,
+                    result.trace.bytes, spec.trace_path.c_str());
+      } else {
+        std::printf("trace=off\n");
       }
     }
   }

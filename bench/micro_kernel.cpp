@@ -21,9 +21,14 @@
 #include "core/triggers.h"
 #include "net/graph.h"
 #include "par/sharded_system.h"
+#include "exp/topology_graph.h"
+#include "net/channel.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "trace/collector.h"
+#include "trace/monitor.h"
+#include "trace/writer.h"
 
 namespace {
 
@@ -471,6 +476,98 @@ void BM_SystemEventThroughputLadder(benchmark::State& state) {
   SystemEventThroughput(state, sim::QueueBackend::kLadder);
 }
 BENCHMARK(BM_SystemEventThroughputLadder)->Arg(4)->Arg(16);
+
+// ---- trace / monitor kernels ------------------------------------------------
+
+// Per-delivery trace capture: the full hot path a traced run pays — sink
+// batch append into the shard buffer, then the quiesced-commit merge
+// (canonical sort) and varint frame encode. Writing to /dev/null keeps the
+// kernel bounded while still paying the fwrite syscalls at frame flushes.
+// Items are deliveries/second; this is the number to hold against the
+// ~1 branch/delivery cost of tracing OFF.
+void BM_TraceSinkDelivery(benchmark::State& state) {
+  trace::TraceCollector collector("/dev/null");
+  trace::TraceSink* sink = collector.shard_sink(0);
+  sim::Rng rng(21);
+  std::vector<sim::BatchedEvent> batch(1024);
+  double now = 0.0;
+  for (auto& event : batch) {
+    now += 0.001 * rng.next_double();
+    event.at = now;
+    event.payload.a = static_cast<std::int32_t>(rng.below(40000));
+    event.payload.c = static_cast<std::int32_t>(rng.below(40000));
+    event.payload.b = static_cast<std::int32_t>(rng.below(8));
+    event.payload.d = static_cast<std::uint32_t>(rng.below(4));
+    event.payload.x = rng.next_double();
+  }
+  for (auto _ : state) {
+    sink->on_delivery_batch(batch.data(), batch.size());
+    collector.commit();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.counters["deliveries"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1024),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceSinkDelivery);
+
+// Pure encode throughput of the on-disk format (varint + zigzag + XOR
+// time-delta), no sink or merge in the loop — the floor BM_TraceSinkDelivery
+// sits on.
+void BM_TraceSinkEncode(benchmark::State& state) {
+  trace::TraceWriter writer("/dev/null");
+  sim::Rng rng(22);
+  std::vector<trace::Record> records(1024);
+  double now = 0.0;
+  for (auto& record : records) {
+    now += 0.001 * rng.next_double();
+    record.at = now;
+    record.sender = static_cast<std::int32_t>(rng.below(40000));
+    record.dest = static_cast<std::int32_t>(rng.below(40000));
+    record.kind = static_cast<std::uint8_t>(rng.below(4));
+    record.level = trace::kind_has_level(record.kind)
+                       ? static_cast<std::int32_t>(rng.below(8))
+                       : 0;
+    record.value =
+        trace::kind_has_value(record.kind) ? rng.next_double() : 0.0;
+  }
+  for (auto _ : state) {
+    for (const trace::Record& record : records) writer.append(record);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_TraceSinkEncode);
+
+// One monitor probe (the always-on cost): the O(V + E_aug) two-pass scan
+// over a real mid-run snapshot. Arg is the torus side (side² clusters,
+// 4·side² nodes); items are node-column reads per second.
+void BM_MonitorStep(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  const int side = static_cast<int>(state.range(0));
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 23;
+  core::FtGcsSystem system(net::Graph::torus(side, side), std::move(config));
+  system.start();
+  system.run_until(2.0 * params.T);
+  core::SystemColumns columns;
+  system.snapshot_columns(columns);
+
+  const net::UniformDelay delays(params.d, params.U);
+  trace::MonitorBounds bounds;
+  bounds.local_skew = 1e9;
+  bounds.global_skew = 1e9;
+  bounds.intra_cluster = 1e9;
+  trace::InvariantMonitor monitor(
+      exp::build_topology_graph(system.topology(), delays), bounds);
+  trace::MonitorCursor cursor;
+  for (auto _ : state) {
+    monitor.observe(columns, cursor);
+  }
+  benchmark::DoNotOptimize(monitor.stats().max_local_skew);
+  state.SetItemsProcessed(state.iterations() * columns.num_nodes());
+}
+BENCHMARK(BM_MonitorStep)->Arg(8)->Arg(16);
 
 // ---- main: refuse debug-library JSON ---------------------------------------
 

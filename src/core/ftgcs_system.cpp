@@ -45,6 +45,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
                                                           config_.params.U);
   network_ = std::make_unique<net::Network>(sim_, topo_.adjacency(),
                                             std::move(delays), master.fork(1));
+  network_->set_trace(config_.trace_sink);
   if (shard.active()) {
     remote_flags_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
     for (int id = 0; id < topo_.num_nodes(); ++id) {

@@ -20,6 +20,10 @@
 #include "net/network.h"
 #include "sim/simulator.h"
 
+namespace ftgcs::trace {
+class TraceSink;
+}
+
 namespace ftgcs::core {
 
 /// Ground-truth state of every node at one instant.
@@ -93,6 +97,12 @@ class FtGcsSystem {
 
     /// Shard scoping; default = unsharded (every cluster owned).
     ShardView shard;
+
+    /// Observability: mirror every fired pulse delivery to this sink
+    /// (trace::TraceCollector::shard_sink). Owned by the caller, must
+    /// outlive the system; nullptr = tracing off (one dead branch per
+    /// delivery).
+    trace::TraceSink* trace_sink = nullptr;
   };
 
   FtGcsSystem(net::Graph cluster_graph, Config config);

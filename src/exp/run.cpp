@@ -14,6 +14,8 @@
 #include "par/partition.h"
 #include "par/sharded_system.h"
 #include "support/assert.h"
+#include "trace/collector.h"
+#include "trace/monitor.h"
 
 namespace ftgcs::exp {
 
@@ -169,10 +171,39 @@ std::vector<double> sample_times(double horizon_rounds, double interval_rounds,
 /// bit-identical across backends and shard counts.
 template <class System>
 RunResult measure_ftgcs(System& system, const ResolvedRun& run,
-                        const net::AugmentedTopology& topo) {
+                        const net::AugmentedTopology& topo,
+                        trace::TraceCollector* collector) {
   const core::Params& params = run.params;
   const int clusters = topo.num_clusters();
   const int diameter = run.graph.diameter();
+
+  const double s_init = (clusters - 1) * run.gap_rounds * params.T;
+  const double band = params.predicted_global_skew(diameter);
+  const double intra_bound = params.intra_cluster_skew_bound();
+
+  // Online monitors: bounds derived from the same predictions the metric
+  // schema reports. S_env = max(initial ramp height, c·δ·D band) is the
+  // global-skew envelope of the whole run (the skew drains from s_init
+  // into the band and never re-expands past it); Theorem 4.10 then bounds
+  // the cluster-local skew for that S, and every node-level quantity adds
+  // at most one intra-cluster spread on top of its cluster-level
+  // counterpart (the monitor scans node clocks, the theorems speak about
+  // cluster clocks). Single-cluster graphs have S_env = 0: only the
+  // intra-cluster invariant is meaningful there.
+  std::unique_ptr<trace::InvariantMonitor> monitor;
+  if (run.monitors) {
+    trace::MonitorBounds bounds;
+    bounds.intra_cluster = intra_bound;
+    const double s_env = std::max(s_init, band);
+    if (s_env > 0.0) {
+      bounds.local_skew = params.predicted_local_skew(s_env) + intra_bound;
+      bounds.global_skew = s_env + intra_bound;
+      if (run.measure_m_lag) bounds.m_lag = s_env + intra_bound;
+    }
+    const net::UniformDelay delays(params.d, params.U);
+    monitor = std::make_unique<trace::InvariantMonitor>(
+        build_topology_graph(topo, delays), bounds);
+  }
 
   SampleMaxima agg;
   const double steady_after = run.steady_after_rounds * params.T;
@@ -180,6 +211,10 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
   for (double t : sample_times(run.horizon_rounds, run.probe_interval_rounds,
                                params.T)) {
     system.run_until(t);
+    // Probe boundaries are the quiesced commit points of the trace: every
+    // shard has advanced to exactly t and its worker is parked, so the
+    // per-shard capture buffers are safe to merge.
+    if (collector != nullptr) collector->commit();
     system.snapshot_columns(columns);
     const auto skews = metrics::measure_skews(columns, topo);
     agg.max_local = std::max(agg.max_local, skews.cluster_local);
@@ -193,6 +228,7 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
     }
     agg.final_local = skews.cluster_local;
     agg.final_global = skews.cluster_global;
+    double probe_m_lag = 0.0;
     if (run.measure_m_lag) {
       double lmax = 0.0;
       for (int id = 0; id < columns.num_nodes(); ++id) {
@@ -203,9 +239,20 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
       const sim::Time now = system_now(system);
       for (int id = 0; id < topo.num_nodes(); ++id) {
         if (!system.is_correct(id)) continue;
-        agg.max_m_lag = std::max(
-            agg.max_m_lag, lmax - system.node(id).max_estimate(now));
+        probe_m_lag = std::max(
+            probe_m_lag, lmax - system.node(id).max_estimate(now));
       }
+      agg.max_m_lag = std::max(agg.max_m_lag, probe_m_lag);
+    }
+    if (monitor != nullptr) {
+      trace::MonitorCursor cursor;
+      cursor.at = t;
+      cursor.events = system_events(system);
+      cursor.trace_records = collector != nullptr ? collector->records() : 0;
+      cursor.trace_offset =
+          collector != nullptr ? collector->cursor_offset() : 0;
+      monitor->observe(columns, cursor);
+      if (run.measure_m_lag) monitor->observe_m_lag(probe_m_lag, cursor);
     }
   }
 
@@ -216,12 +263,9 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
     max_degree = std::max(max_degree, neighbors.size());
   }
 
-  const double s_init = (clusters - 1) * run.gap_rounds * params.T;
   const double init_local = run.gap_rounds * params.T;
   const double predicted_local =
       s_init > 0.0 ? params.predicted_local_skew(s_init) : 0.0;
-  const double band = params.predicted_global_skew(diameter);
-  const double intra_bound = params.intra_cluster_skew_bound();
   const double messages = static_cast<double>(system_messages(system));
 
   RunResult result;
@@ -288,6 +332,28 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
   if (run.measure_m_lag) m.emplace_back("max_m_lag", agg.max_m_lag);
   result.queue = system_queue(system);
   result.shard = system_shard_diag(system);
+  if (monitor != nullptr) {
+    result.monitor.enabled = true;
+    result.monitor.bounds = monitor->bounds();
+    result.monitor.stats = monitor->stats();
+  }
+  return result;
+}
+
+/// measure_ftgcs plus trace finalization: seals the file (end marker +
+/// trailer) and stamps the capture summary into the result.
+template <class System>
+RunResult measure_and_seal(System& system, const ResolvedRun& run,
+                           const net::AugmentedTopology& topo,
+                           trace::TraceCollector* collector) {
+  RunResult result = measure_ftgcs(system, run, topo, collector);
+  if (collector != nullptr) {
+    collector->finish();
+    result.trace.enabled = true;
+    result.trace.path = run.trace_path;
+    result.trace.records = static_cast<double>(collector->records());
+    result.trace.bytes = static_cast<double>(collector->bytes_written());
+  }
   return result;
 }
 
@@ -295,6 +361,13 @@ RunResult run_ftgcs(const ResolvedRun& run) {
   const core::Params& params = run.params;
   net::AugmentedTopology topo(run.graph, params.k);
   const int clusters = topo.num_clusters();
+
+  // Created before either backend so its shard sinks outlive the system;
+  // the resulting file is byte-identical at every shard count.
+  std::unique_ptr<trace::TraceCollector> collector;
+  if (!run.trace_path.empty()) {
+    collector = std::make_unique<trace::TraceCollector>(run.trace_path);
+  }
 
   std::vector<int> offsets;
   if (run.gap_rounds > 0) {
@@ -328,9 +401,10 @@ RunResult run_ftgcs(const ResolvedRun& run) {
                              run.seed);
         };
       }
+      config.trace = collector.get();
       par::ShardedFtGcsSystem system(run.graph, std::move(config));
       system.start();
-      return measure_ftgcs(system, run, topo);
+      return measure_and_seal(system, run, topo, collector.get());
     }
   }
 
@@ -343,10 +417,11 @@ RunResult run_ftgcs(const ResolvedRun& run) {
       build_drift(run.drift, params, clusters, params.k, run.seed);
   config.fault_plan = run.fault_plan;
   config.cluster_round_offsets = offsets;
+  if (collector != nullptr) config.trace_sink = collector->shard_sink(0);
 
   core::FtGcsSystem system(run.graph, std::move(config));
   system.start();
-  return measure_ftgcs(system, run, topo);
+  return measure_and_seal(system, run, topo, collector.get());
 }
 
 RunResult run_gcs_baseline(const ResolvedRun& run) {
@@ -443,6 +518,8 @@ ResolvedRun resolve(const ScenarioSpec& spec, std::uint64_t seed) {
   run.steady_after_rounds = spec.steady_after_rounds;
   run.measure_m_lag = spec.measure_m_lag;
   run.replicas_know_offsets = spec.replicas_know_offsets;
+  run.trace_path = spec.trace_path;
+  run.monitors = spec.monitors;
 
   const int diameter = run.graph.diameter();
   run.gap_rounds = spec.ramp.resolve(run.params, diameter);

@@ -16,6 +16,7 @@
 #include "core/params.h"
 #include "exp/scenario.h"
 #include "net/graph.h"
+#include "trace/monitor.h"
 
 namespace ftgcs::exp {
 
@@ -41,6 +42,11 @@ struct ResolvedRun {
   bool measure_m_lag = false;
   bool replicas_know_offsets = true;
   std::uint64_t seed = 1;
+  /// Streaming trace capture: path of the .ftr file to write (empty =
+  /// tracing off). FT-GCS runs only; the GCS baseline ignores it.
+  std::string trace_path;
+  /// Online invariant monitors (default ON; probe-tier cost only).
+  bool monitors = true;
 };
 
 /// One completed run: the axis assignments that produced it plus an ordered
@@ -76,6 +82,26 @@ struct RunResult {
     double mailbox_peak = 0.0;   ///< max cross-shard merge at one barrier
   };
   ShardDiag shard;
+
+  /// Online invariant-monitor report. Footer material for the same reason
+  /// as the diagnostics above: the monitors observe the same ground truth
+  /// on every backend, but their report stays out of `metrics` so the
+  /// tables cannot change shape when monitors are toggled.
+  struct MonitorReport {
+    bool enabled = false;
+    trace::MonitorBounds bounds;
+    trace::InvariantMonitor::Stats stats;
+  };
+  MonitorReport monitor;
+
+  /// Trace-capture summary (all zero when tracing was off).
+  struct TraceInfo {
+    bool enabled = false;
+    std::string path;
+    double records = 0.0;
+    double bytes = 0.0;
+  };
+  TraceInfo trace;
 
   bool has_metric(const std::string& name) const;
   double metric(const std::string& name) const;  ///< aborts if missing

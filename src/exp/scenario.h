@@ -220,6 +220,15 @@ struct ScenarioSpec {
   bool measure_m_lag = false;  ///< track max_v (maxᵤ L_u − M_v) (Lemma C.2)
   bool replicas_know_offsets = true;
 
+  /// Streaming trace capture: write every fired pulse delivery to this
+  /// .ftr file (`ftgcs_bench --trace PATH`; empty = off). Multi-task
+  /// sweeps suffix ".taskN" per task so files never interleave. The bytes
+  /// are identical for every `--shards T` and both `--engine` backends.
+  std::string trace_path;
+  /// Online invariant monitors (`--no-monitors` to disable). Probe-tier
+  /// cost; reported in the --timing footer, never in the tables.
+  bool monitors = true;
+
   std::vector<SweepAxis> axes;       ///< the parameter grid
   std::vector<std::string> columns;  ///< metric names the table sink prints
 

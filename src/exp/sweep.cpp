@@ -45,8 +45,15 @@ std::vector<Task> expand_grid(const ScenarioSpec& spec) {
 }
 
 RunResult execute(const ScenarioSpec& base, const Task& task,
+                  std::size_t task_index, std::size_t num_tasks,
                   double& wall_ms) {
   ScenarioSpec spec = base;
+  // Each task owns its private trace file — sweep tasks run concurrently
+  // and a single stream would interleave. A lone task keeps the exact
+  // path so `--trace out.ftr` means what it says for single runs.
+  if (!spec.trace_path.empty() && num_tasks > 1) {
+    spec.trace_path += ".task" + std::to_string(task_index);
+  }
   std::vector<std::pair<std::string, std::string>> point;
   point.reserve(base.axes.size());
   for (std::size_t a = 0; a < base.axes.size(); ++a) {
@@ -101,7 +108,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
 
   if (threads == 1) {
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      results[i] = execute(spec, tasks[i], wall_ms[i]);
+      results[i] = execute(spec, tasks[i], i, tasks.size(), wall_ms[i]);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -116,7 +123,7 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
           const std::size_t i = next.fetch_add(1);
           if (i >= tasks.size() || failed.load()) return;
           try {
-            results[i] = execute(spec, tasks[i], wall_ms[i]);
+            results[i] = execute(spec, tasks[i], i, tasks.size(), wall_ms[i]);
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
@@ -160,6 +167,45 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       sweep.shard.windows += shard.windows;
       sweep.shard.max_mailbox_peak =
           std::max(sweep.shard.max_mailbox_peak, shard.mailbox_peak);
+    }
+    const RunResult::MonitorReport& mon = results[i].monitor;
+    if (mon.enabled) {
+      auto& agg = sweep.monitor;
+      agg.rows += 1.0;
+      agg.probes += static_cast<double>(mon.stats.probes);
+      agg.violations += static_cast<double>(mon.stats.violations);
+      agg.max_local_skew =
+          std::max(agg.max_local_skew, mon.stats.max_local_skew);
+      agg.max_global_skew =
+          std::max(agg.max_global_skew, mon.stats.max_global_skew);
+      agg.max_intra = std::max(agg.max_intra, mon.stats.max_intra_cluster);
+      agg.max_m_lag = std::max(agg.max_m_lag, mon.stats.max_m_lag);
+      if (mon.bounds.local_skew > 0.0) {
+        agg.min_local_margin =
+            std::min(agg.min_local_margin,
+                     mon.bounds.local_skew - mon.stats.max_local_skew);
+      }
+      if (mon.bounds.global_skew > 0.0) {
+        agg.min_global_margin =
+            std::min(agg.min_global_margin,
+                     mon.bounds.global_skew - mon.stats.max_global_skew);
+      }
+      if (mon.bounds.intra_cluster > 0.0) {
+        agg.min_intra_margin =
+            std::min(agg.min_intra_margin,
+                     mon.bounds.intra_cluster - mon.stats.max_intra_cluster);
+      }
+      if (mon.stats.has_violation && !agg.has_violation) {
+        agg.has_violation = true;
+        agg.first_task = i;
+        agg.first = mon.stats.first;
+      }
+    }
+    const RunResult::TraceInfo& trace = results[i].trace;
+    if (trace.enabled) {
+      sweep.trace.files += 1.0;
+      sweep.trace.records += trace.records;
+      sweep.trace.bytes += trace.bytes;
     }
   }
 

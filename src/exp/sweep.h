@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,36 @@ struct SweepResult {
     double max_mailbox_peak = 0.0;
   };
   ShardTotals shard;
+
+  /// Online invariant-monitor aggregates over tasks — maxima for observed
+  /// skews, minima for bound margins (how close the worst task came to its
+  /// bound; +inf when that invariant was disabled in every monitored
+  /// task), and the FIRST violating task's flag verbatim. `--timing`
+  /// footer material, like the diagnostics above.
+  struct MonitorTotals {
+    double rows = 0.0;        ///< tasks that ran with monitors on
+    double probes = 0.0;      ///< sum
+    double violations = 0.0;  ///< sum of probe × invariant exceedances
+    double max_local_skew = 0.0;
+    double max_global_skew = 0.0;
+    double max_intra = 0.0;
+    double max_m_lag = 0.0;
+    double min_local_margin = std::numeric_limits<double>::infinity();
+    double min_global_margin = std::numeric_limits<double>::infinity();
+    double min_intra_margin = std::numeric_limits<double>::infinity();
+    bool has_violation = false;
+    std::size_t first_task = 0;  ///< task index of `first`
+    trace::Violation first;      ///< valid iff has_violation
+  };
+  MonitorTotals monitor;
+
+  /// Trace-capture totals over tasks (all zero when tracing was off).
+  struct TraceTotals {
+    double files = 0.0;
+    double records = 0.0;
+    double bytes = 0.0;
+  };
+  TraceTotals trace;
 };
 
 struct SweepOptions {

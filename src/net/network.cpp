@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "support/assert.h"
+#include "trace/sink.h"
 
 namespace ftgcs::net {
 
@@ -144,6 +145,7 @@ void Network::on_event(sim::EventKind kind, const sim::EventPayload& payload,
                        sim::Time now) {
   FTGCS_ASSERT(kind == sim::EventKind::kPulse);
   ++messages_delivered_;
+  if (trace_ != nullptr) trace_->on_delivery(now, payload);
   // Columnar fast path (single-event form — Simulator::step and deliveries
   // not drained as part of a run): same receive as the batch hook below.
   if (dispatch_ != nullptr &&
@@ -168,6 +170,7 @@ void Network::on_event_batch(sim::EventKind kind,
   FTGCS_ASSERT(kind == sim::EventKind::kPulse);
   FTGCS_ASSERT(dispatch_ != nullptr);
   messages_delivered_ += n;
+  if (trace_ != nullptr) trace_->on_delivery_batch(events, n);
   dispatch_->on_pulse_run(events, n);
 }
 

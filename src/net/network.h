@@ -31,6 +31,10 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
+namespace ftgcs::trace {
+class TraceSink;
+}
+
 namespace ftgcs::net {
 
 /// Message kinds. The paper's pulses are content-less; kinds let one
@@ -135,6 +139,15 @@ class Network final : public sim::EventSink {
   /// pointers are owned by the caller and must outlive the network.
   void set_shard_router(ShardRouter* router, const std::uint8_t* remote);
 
+  /// Observability tap: mirrors every FIRED delivery (single and batched)
+  /// to `sink` before dispatch. nullptr disables; with no sink the whole
+  /// feature costs one predictable branch per delivery (batches pay it
+  /// once per run). The sink is owned by the caller and must outlive the
+  /// network. Deliveries fire exactly once on the destination's owner
+  /// shard even in sharded runs, which is what makes the captured stream
+  /// partition-invariant (see trace/sink.h).
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
   /// Correct-node broadcast: delivers to all neighbors and to self. The
   /// delivery group is pre-sampled as one batch.
   void broadcast(int from, const Pulse& pulse);
@@ -196,6 +209,7 @@ class Network final : public sim::EventSink {
   const std::uint8_t* dispatch_fast_ = nullptr;  ///< per-dest fast flags
   ShardRouter* router_ = nullptr;           ///< cut-edge diversion (optional)
   const std::uint8_t* remote_ = nullptr;    ///< per-dest off-shard flags
+  trace::TraceSink* trace_ = nullptr;       ///< delivery tap (optional)
   // One stream per directed edge, keyed densely: edge_streams_[from] maps
   // position-in-adjacency-list -> Rng; loopback stream is separate.
   std::vector<std::vector<sim::Rng>> edge_streams_;

@@ -9,6 +9,7 @@
 #include "exp/topology_graph.h"
 #include "net/channel.h"
 #include "support/assert.h"
+#include "trace/collector.h"
 
 namespace ftgcs::par {
 
@@ -110,6 +111,11 @@ ShardedFtGcsSystem::ShardedFtGcsSystem(net::Graph cluster_graph,
     }
     shard_config.shard = {s, t, plan_.cluster_owner.data(),
                           routers_.back().get()};
+    if (config.trace != nullptr) {
+      // Serial, before the workers spawn — each buffer is then touched
+      // only by its own shard's worker.
+      shard_config.trace_sink = config.trace->shard_sink(s);
+    }
     shards_.push_back(std::make_unique<core::FtGcsSystem>(
         cluster_graph, std::move(shard_config)));
   }

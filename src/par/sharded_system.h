@@ -51,6 +51,10 @@
 #include "sim/event_queue.h"
 #include "sim/time_types.h"
 
+namespace ftgcs::trace {
+class TraceCollector;
+}
+
 namespace ftgcs::par {
 
 class ShardedFtGcsSystem {
@@ -79,6 +83,12 @@ class ShardedFtGcsSystem {
     /// draws; each shard applies only its own nodes' rates). nullptr →
     /// the system default (deterministically spread constant drift).
     std::function<std::unique_ptr<clocks::DriftModel>()> drift_factory;
+    /// Trace capture: each shard's Network gets collector->shard_sink(s)
+    /// installed (deliveries fire exactly once, on the destination's
+    /// owner shard, so the merged trace is byte-identical to an unsharded
+    /// run). Owned by the caller, must outlive the system; the caller
+    /// commits at quiesced probe boundaries. nullptr = tracing off.
+    trace::TraceCollector* trace = nullptr;
   };
 
   /// Deterministic, engine-independent diagnostics of one sharded run

@@ -1,0 +1,78 @@
+#include "trace/diff.h"
+
+#include <stdexcept>
+
+#include "trace/reader.h"
+
+namespace ftgcs::trace {
+
+namespace {
+
+/// One stream plus its decode state. A mid-stream decode error is captured
+/// instead of propagating: the diff reports it as the divergence point.
+struct Stream {
+  TraceReader reader;
+  Record record;
+  bool has_record = false;
+  bool failed = false;
+  std::string error;
+
+  explicit Stream(const std::string& path) : reader(path) {}
+
+  /// Offset of the record just decoded, or of the decode failure / end.
+  std::uint64_t position() const {
+    return has_record ? record.offset : reader.offset();
+  }
+
+  bool advance() {
+    has_record = false;
+    try {
+      has_record = reader.next(record);
+    } catch (const std::runtime_error& e) {
+      failed = true;
+      error = e.what();
+    }
+    return has_record;
+  }
+};
+
+}  // namespace
+
+TraceDiff diff_traces(const std::string& path_a, const std::string& path_b) {
+  Stream a(path_a);  // header problems still throw — that is an unusable
+  Stream b(path_b);  // input, not a comparable stream
+
+  TraceDiff diff;
+  for (;;) {
+    const bool more_a = a.advance();
+    const bool more_b = b.advance();
+    diff.seq = diff.records_compared;
+    diff.offset_a = a.position();
+    diff.offset_b = b.position();
+    diff.has_record_a = more_a;
+    diff.has_record_b = more_b;
+    if (more_a) diff.record_a = a.record;
+    if (more_b) diff.record_b = b.record;
+
+    if (a.failed || b.failed) {
+      diff.reason = a.failed ? "a: " + a.error : "b: " + b.error;
+      return diff;
+    }
+    if (!more_a && !more_b) {
+      diff.identical = true;
+      diff.reason.clear();
+      return diff;
+    }
+    if (more_a != more_b) {
+      diff.reason = more_a ? "b ended" : "a ended";
+      return diff;
+    }
+    if (!record_equal(a.record, b.record)) {
+      diff.reason = "payload";
+      return diff;
+    }
+    ++diff.records_compared;
+  }
+}
+
+}  // namespace ftgcs::trace

@@ -1,0 +1,45 @@
+// Structural comparison of two trace files.
+//
+// diff_traces walks both streams record by record and stops at the FIRST
+// divergence — a payload mismatch, one stream ending early, or one stream
+// failing to decode (corruption surfaces as a decode error at a precise
+// offset, which counts as divergence at the record being decoded). The
+// XOR-delta time chain means a single flipped byte usually garbles every
+// later record too; reporting the first divergent record is what makes
+// the output actionable.
+#pragma once
+
+#include <string>
+
+#include "trace/format.h"
+
+namespace ftgcs::trace {
+
+struct TraceDiff {
+  bool identical = false;
+  std::uint64_t records_compared = 0;  ///< matching records before divergence
+
+  /// Divergence position (valid unless identical): the index both streams
+  /// were at, and each file's byte offset of that record (the stream's end
+  /// offset if it ran out of records first).
+  std::uint64_t seq = 0;
+  std::uint64_t offset_a = 0;
+  std::uint64_t offset_b = 0;
+
+  /// "payload", "a ended", "b ended", or a decode-error message from the
+  /// stream that failed.
+  std::string reason;
+
+  /// The diverging records, when both decoded one.
+  bool has_record_a = false;
+  bool has_record_b = false;
+  Record record_a;
+  Record record_b;
+};
+
+/// Compares the traces at `path_a` and `path_b`. Throws std::runtime_error
+/// only if a file cannot be OPENED or is not a trace file at all; decode
+/// errors mid-stream are reported as divergence, not thrown.
+TraceDiff diff_traces(const std::string& path_a, const std::string& path_b);
+
+}  // namespace ftgcs::trace

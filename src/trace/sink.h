@@ -1,0 +1,47 @@
+// Narrow observability tap for the delivery hot path.
+//
+// net::Network mirrors every pulse delivery it fires — single-event and
+// batched alike — to an installed TraceSink. The interface is deliberately
+// minimal (raw fire time + encoded kPulse payload, no decoding, no
+// ownership, no heavy includes) so the network can depend on it without
+// pulling the trace subsystem into its hot path: with no sink installed the
+// entire cost of tracing is one predictable null-pointer branch per
+// delivery (batch deliveries pay it once per drained run).
+//
+// The hook lives on the NETWORK, not the simulator, on purpose: pulse
+// deliveries are the one event family that fires exactly once per record
+// on the destination's owner shard in a sharded run (cut deliveries are
+// replayed into the destination shard's network; see par/sharded_system),
+// so the captured multiset is partition-invariant. Timers, drift ticks and
+// probes are per-shard duplicated machinery and would break the
+// byte-identical-across-`--shards T` contract of trace files.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/event.h"
+#include "sim/time_types.h"
+
+namespace ftgcs::trace {
+
+class TraceSink {
+ public:
+  /// One fired delivery: `at` is the arrival (fire) time, `payload` the
+  /// encoded kPulse event (a = sender, b = level, c = dest, d = PulseKind,
+  /// x = value). Called from the firing simulator's thread.
+  virtual void on_delivery(sim::Time at, const sim::EventPayload& payload) = 0;
+
+  /// A drained run of pure-receive deliveries (each item carries its own
+  /// fire time). The default replays them through on_delivery.
+  virtual void on_delivery_batch(const sim::BatchedEvent* events,
+                                 std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      on_delivery(events[i].at, events[i].payload);
+    }
+  }
+
+ protected:
+  ~TraceSink() = default;  // never deleted through the interface
+};
+
+}  // namespace ftgcs::trace
