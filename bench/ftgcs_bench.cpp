@@ -227,16 +227,29 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
   if (!quiet) {
     std::printf("\n%zu rows (%zu tasks, %d threads)\n", result.rows.size(),
                 spec.num_tasks(), threads);
-    if (timing && result.total_wall_ms > 0.0 && result.total_events > 0.0) {
-      std::printf("%.3g simulated events in %.0f ms task time — %.2fM "
-                  "events/sec/thread aggregate\n",
-                  result.total_events, result.total_wall_ms,
-                  result.total_events / result.total_wall_ms / 1000.0);
+    // The whole diagnostics block keys on --timing alone: the queue /
+    // shards / monitor / trace lines are deterministic and must print on
+    // EVERY timed footer — including the degenerate single-simulator
+    // fallback of a zero-event or sub-millisecond run, which the old
+    // wall>0 && events>0 guard silently swallowed while the sharded
+    // footer printed them. Only the throughput line needs a nonzero wall.
+    if (timing) {
+      if (result.total_wall_ms > 0.0 && result.total_events > 0.0) {
+        std::printf("%.3g simulated events in %.0f ms task time — %.2fM "
+                    "events/sec/thread aggregate\n",
+                    result.total_events, result.total_wall_ms,
+                    result.total_events / result.total_wall_ms / 1000.0);
+      }
       std::printf("queue[%s]: buckets=%.0f rung_spawns=%.0f "
                   "overflow_peak=%.0f reseeds=%.0f\n",
                   sim::queue_backend_name(spec.engine),
                   result.queue.max_bucket_count, result.queue.rung_spawns,
                   result.queue.max_overflow_peak, result.queue.reseeds);
+      std::printf("runs[%s]: part_runs=%.0f part_events=%.0f "
+                  "run_events=%.0f\n",
+                  sim::queue_backend_name(spec.engine),
+                  result.queue.unordered_runs, result.queue.unordered_events,
+                  result.queue.ordered_run_events);
       if (result.shard.shards > 0.0) {
         std::printf("shards[%.0f]: cut_edges=%.0f min_cut_delay=%g "
                     "windows=%.0f mailbox_peak=%.0f\n",

@@ -122,6 +122,7 @@ def main():
               f"(per-family ratios are normalized by it)")
 
     failures = []
+    improvements = []
     print(f"{'benchmark':55s} {'baseline':>12s} {'fresh':>12s} {'ratio':>7s}")
     for run in checked:
         base, _ = baseline[run]
@@ -131,6 +132,9 @@ def main():
         if ratio < 1.0 - args.tolerance:
             failures.append((run, base, new, ratio))
             flag = "  << REGRESSION"
+        elif ratio > 1.0 + args.tolerance:
+            improvements.append((run, base, new, ratio))
+            flag = "  >> IMPROVED"
         print(f"{run:55s} {base:12.4g} {new:12.4g} {ratio:7.2f}{flag}")
 
     for run in sorted(set(baseline) - set(fresh)):
@@ -140,6 +144,18 @@ def main():
         if selected(run):
             print(f"note: {run} only in fresh run (skipped)")
 
+    # Improvements beyond the tolerance are loud but never fatal: the
+    # committed baseline has gone stale in the happy direction, and a
+    # quiet pass would let it keep masking future regressions (a family
+    # that doubled can lose half its win before tripping the guardrail).
+    if improvements:
+        print(f"\n{len(improvements)} famil"
+              f"{'y' if len(improvements) == 1 else 'ies'} improved more "
+              f"than {args.tolerance:.0%} over the committed baseline:")
+        for run, base, new, ratio in improvements:
+            print(f"  {run}: {base:.4g} -> {new:.4g} ({ratio:.2f}x)")
+        print("  refresh BENCH_kernel.json (see README 'Refreshing "
+              "BENCH_kernel.json') so the guardrail tracks the new level.")
     if failures:
         print(f"\n{len(failures)} famil{'y' if len(failures) == 1 else 'ies'} "
               f"regressed more than {args.tolerance:.0%}:", file=sys.stderr)

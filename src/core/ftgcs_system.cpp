@@ -131,6 +131,7 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
   network_->set_cluster_dispatch(&table_, table_.fast_flags());
   sim_.set_batch_channel(network_->sink_id(), sim::EventKind::kPulse,
                          &NodeTable::pure_pulse, &table_);
+  table_.bind_scratch(&sim_.batch_scratch());
 
   // Give each cluster's Byzantine nodes a reference observation of a
   // correct member's round schedule (omniscient adversary).

@@ -92,6 +92,23 @@ void NodeTable::build(const net::AugmentedTopology& topo,
 }
 
 void NodeTable::on_pulse_run(const sim::BatchedEvent* events, std::size_t n) {
+  // Three branch-light sweeps over the run instead of one branchy loop per
+  // event (runs arrive up to Simulator::kMaxRun long via the partitioned
+  // drain): decode into flat scratch columns, evaluate every clock mirror
+  // in one arithmetic pass, then commit. Each pass touches one kind of
+  // memory — payloads, lane headers, arrival slots — so the hardware
+  // prefetcher sees three streams instead of one pointer-chasing mix.
+  sim::BatchScratch& s = *scratch_;
+  s.ensure(n);
+  std::int32_t* const lane_col = s.lane.data();
+  std::int32_t* const member_col = s.member.data();
+  double* const at_col = s.at.data();
+  double* const value_col = s.value.data();
+
+  // Pass 1 — decode + filter: resolve each event to a receive lane. Drops
+  // (stale/self kMaxLevel, crashed destinations, non-adjacent senders)
+  // vanish here; the later passes see only committed receives.
+  std::size_t m = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const sim::EventPayload& p = events[i].payload;
     if (p.d != static_cast<std::uint32_t>(net::PulseKind::kClusterPulse)) {
@@ -99,11 +116,16 @@ void NodeTable::on_pulse_run(const sim::BatchedEvent* events, std::size_t n) {
     }
     const auto sender = static_cast<std::size_t>(p.a);
     const auto dest = static_cast<std::size_t>(p.c);
+    if (fast_[dest] == 0) {
+      // Crashed destination (the predicate admits every managed dest so
+      // classification cannot drift over a run): a pure drop, exactly
+      // what the null sink it would otherwise reach does.
+      continue;
+    }
     const std::int32_t sender_cluster = cluster_[sender];
-    const std::int32_t sender_index = index_in_cluster_[sender];
     std::int32_t lane = lane_offset_[dest];
     const std::int32_t end = lane_offset_[dest + 1];
-    FTGCS_ASSERT(lane != end);  // fast flags only cover managed nodes
+    FTGCS_ASSERT(lane != end);  // the predicate admits managed nodes only
     if (sender_cluster != lane_cluster_[lane]) {
       // Adjacent-cluster pulse: find the replica lane (degrees are small;
       // the scan mirrors EstimateBank::route_pulse). A pulse from a
@@ -112,8 +134,27 @@ void NodeTable::on_pulse_run(const sim::BatchedEvent* events, std::size_t n) {
       while (lane != end && lane_cluster_[lane] != sender_cluster) ++lane;
       if (lane == end) continue;
     }
-    lane_receive(lanes_[static_cast<std::size_t>(lane)], sender_index,
-                 events[i].at);
+    lane_col[m] = lane;
+    member_col[m] = index_in_cluster_[sender];
+    at_col[m] = events[i].at;
+    ++m;
+  }
+
+  // Pass 2 — clock evaluation: one fused multiply-add per event, gathered
+  // by lane. The mirrors are constant within a run (they mutate only in
+  // slotted timer processing, which breaks runs), so evaluation order is
+  // immaterial and the loop has no cross-iteration dependence.
+  for (std::size_t i = 0; i < m; ++i) {
+    value_col[i] =
+        lane_arrival_value(lanes_[static_cast<std::size_t>(lane_col[i])],
+                           at_col[i]);
+  }
+
+  // Pass 3 — commit: the NaN-sentinel arrival writes and counters, via
+  // the same lane_commit the engine-object path executes.
+  for (std::size_t i = 0; i < m; ++i) {
+    lane_commit(lanes_[static_cast<std::size_t>(lane_col[i])], member_col[i],
+                value_col[i]);
   }
 }
 
@@ -122,7 +163,12 @@ bool NodeTable::pure_pulse(const sim::EventPayload& payload, const void* ctx) {
   const auto dest = static_cast<std::size_t>(payload.c);
   if (payload.d ==
       static_cast<std::uint32_t>(net::PulseKind::kClusterPulse)) {
-    return table->fast_[dest] != 0;
+    // Managed, not fast: the crashed subset is dropped inside
+    // on_pulse_run. Keying on the immutable managed_ column makes the
+    // classification TIME-INVARIANT, which the partitioned drain requires
+    // (a crash between push and drain must not flip an accepted event to
+    // rejected — see Simulator::set_batch_channel).
+    return table->managed_[dest] != 0;
   }
   if (payload.d == static_cast<std::uint32_t>(net::PulseKind::kMaxLevel)) {
     // Self-loopback level pulses carry no news and are dropped on arrival;

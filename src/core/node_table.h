@@ -35,6 +35,7 @@
 #include "core/receive_lane.h"
 #include "net/network.h"
 #include "sim/event.h"
+#include "sim/scratch_arena.h"
 #include "sim/time_types.h"
 
 namespace ftgcs::net {
@@ -74,12 +75,22 @@ class NodeTable final : public net::ClusterPulseTable {
   void on_pulse_run(const sim::BatchedEvent* events, std::size_t n) override;
 
   /// sim::BatchPredicate (ctx = the NodeTable): pure-receive
-  /// classification of one pulse payload. kClusterPulse to a fast
-  /// destination is a table receive; a kMaxLevel that is self-addressed or
-  /// below the destination's staleness floor is a pure drop. Everything
-  /// else (Byzantine sinks, non-stale levels, crashed destinations) takes
-  /// the ordinary per-event path.
+  /// classification of one pulse payload. kClusterPulse to a MANAGED
+  /// destination is a table receive (on_pulse_run itself drops the
+  /// crashed ones — same observable outcome as the null sink, but the
+  /// classification stays constant over a run, which the partitioned
+  /// drain's monotone-predicate obligation requires); a kMaxLevel that is
+  /// self-addressed or below the destination's staleness floor is a pure
+  /// drop (floors only rise — monotone too). Everything else (Byzantine
+  /// sinks, non-stale levels) takes the ordinary per-event path.
   static bool pure_pulse(const sim::EventPayload& payload, const void* ctx);
+
+  /// Borrows the simulator-owned scratch arena for on_pulse_run's decode
+  /// columns (see sim/scratch_arena.h). Optional: an unbound table uses a
+  /// private arena, so standalone construction (tests) keeps working.
+  void bind_scratch(sim::BatchScratch* scratch) {
+    scratch_ = scratch != nullptr ? scratch : &own_scratch_;
+  }
 
   /// Crash-stop: marks `node` crashed — the fast flag drops to 0 (its
   /// deliveries fall through to the per-node sink, by then the null sink)
@@ -150,6 +161,9 @@ class NodeTable final : public net::ClusterPulseTable {
   /// kMaxLevel quorum windows, parallel to lanes_ (indexed by the same
   /// lane_offset_ spans; window i counts pulses from lane_cluster_[i]).
   std::vector<QuorumWindow> quorum_windows_;
+  // ---- batch scratch --------------------------------------------------------
+  sim::BatchScratch own_scratch_;  ///< fallback when no simulator arena bound
+  sim::BatchScratch* scratch_ = &own_scratch_;
 };
 
 }  // namespace ftgcs::core

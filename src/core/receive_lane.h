@@ -49,10 +49,33 @@ struct alignas(64) ReceiveLane {
 };
 static_assert(sizeof(ReceiveLane) == 128);
 
-/// One pulse receive — the body of ClusterSyncEngine::on_member_pulse,
-/// operating on the lane alone so the columnar dispatch path and the
-/// engine-object path share one definition (and stay bit-identical).
-inline void lane_receive(ReceiveLane& lane, int member_index, sim::Time now) {
+/// The arrival value one receive would record: the lane's logical clock
+/// read at the delivery instant — bit-for-bit LogicalClock::read().
+inline double lane_arrival_value(const ReceiveLane& lane, sim::Time now) {
+  return lane.clock.l0 + lane.clock.rate * (now - lane.clock.t0);
+}
+
+/// Commits one already-evaluated arrival. Split from lane_receive so the
+/// vectorized dispatch path (NodeTable::on_pulse_run) can hoist the clock
+/// evaluation into its own array sweep and still execute the exact same
+/// commit.
+///
+/// ORDER INDEPENDENCE (the partitioned drain's proof obligation — see
+/// Simulator::set_batch_channel): between two barrier events, `listening`,
+/// `own_index`, and the clock mirror are constant (they mutate only in
+/// slotted timer/closure processing, which breaks every run), so each
+/// receive in a tranche commutes with the others:
+///   * dropped counts receives with listening == 0 — order-free;
+///   * the slot min-combines: the arrival value is monotone non-decreasing
+///     in the event time (rate ≥ 0), so the minimum over any permutation
+///     equals the value of the (time, seq)-first receive — exactly what
+///     the previous first-write-wins rule recorded (equal-time receives
+///     compute the identical double, so seq ties cannot differ);
+///   * duplicates counts every receive after the slot is set: n − 1 of n
+///     in any order;
+///   * own_arrival mirrors the (post-combine) slot, so it lands on the
+///     same value regardless of which receive committed last.
+inline void lane_commit(ReceiveLane& lane, int member_index, double at) {
   if (!lane.listening) {
     ++lane.dropped;
     return;
@@ -60,14 +83,20 @@ inline void lane_receive(ReceiveLane& lane, int member_index, sim::Time now) {
   double& slot = lane.arrivals[member_index];
   if (slot == slot) {  // already heard this member this round
     ++lane.duplicates;
-    return;
+    slot = at < slot ? at : slot;  // min-combine ≡ first in (time, seq)
+  } else {
+    slot = at;
   }
-  const double at =
-      lane.clock.l0 + lane.clock.rate * (now - lane.clock.t0);
-  slot = at;
   if (member_index == lane.own_index) {
-    lane.own_arrival = at;
+    lane.own_arrival = slot;
   }
+}
+
+/// One pulse receive — the body of ClusterSyncEngine::on_member_pulse,
+/// operating on the lane alone so the columnar dispatch path and the
+/// engine-object path share one definition (and stay bit-identical).
+inline void lane_receive(ReceiveLane& lane, int member_index, sim::Time now) {
+  lane_commit(lane, member_index, lane_arrival_value(lane, now));
 }
 
 }  // namespace ftgcs::core

@@ -114,6 +114,9 @@ RunResult::QueueTiers queue_tiers(const sim::EventQueue::TierStats& stats) {
   tiers.rung_spawns = static_cast<double>(stats.rung_spawns);
   tiers.overflow_peak = static_cast<double>(stats.overflow_peak);
   tiers.reseeds = static_cast<double>(stats.reseeds);
+  tiers.unordered_runs = static_cast<double>(stats.unordered_runs);
+  tiers.unordered_events = static_cast<double>(stats.unordered_events);
+  tiers.ordered_run_events = static_cast<double>(stats.ordered_run_events);
   return tiers;
 }
 

@@ -67,6 +67,11 @@ struct RunResult {
     double rung_spawns = 0.0;    ///< overflowing buckets split on drain
     double overflow_peak = 0.0;  ///< overflow-tier occupancy high-water mark
     double reseeds = 0.0;        ///< windows rebuilt from the overflow tier
+    // Batch-channel run lengths: events drained in sorted batch runs vs
+    // through the time-partitioned (unordered, below-horizon) drain.
+    double unordered_runs = 0.0;    ///< partitioned drains that emitted
+    double unordered_events = 0.0;  ///< events drained below the horizon
+    double ordered_run_events = 0.0;  ///< events drained in sorted runs
   };
   QueueTiers queue;
 

@@ -155,6 +155,9 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     sweep.queue.max_overflow_peak =
         std::max(sweep.queue.max_overflow_peak, tiers.overflow_peak);
     sweep.queue.reseeds += tiers.reseeds;
+    sweep.queue.unordered_runs += tiers.unordered_runs;
+    sweep.queue.unordered_events += tiers.unordered_events;
+    sweep.queue.ordered_run_events += tiers.ordered_run_events;
     const RunResult::ShardDiag& shard = results[i].shard;
     if (shard.shards > 0.0) {
       sweep.shard.min_cut_delay =

@@ -52,6 +52,13 @@ struct SweepResult {
     double rung_spawns = 0.0;
     double max_overflow_peak = 0.0;
     double reseeds = 0.0;
+    // Batch-channel run lengths, summed over tasks (and shards within a
+    // sharded task): how much fired traffic bypassed per-event dispatch
+    // (ordered_run_events) and how much of that additionally bypassed the
+    // drain sort via the time-partitioned drain (unordered_events).
+    double unordered_runs = 0.0;
+    double unordered_events = 0.0;
+    double ordered_run_events = 0.0;
   };
   QueueTierTotals queue;
 

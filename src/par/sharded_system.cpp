@@ -261,6 +261,9 @@ sim::EventQueue::TierStats ShardedFtGcsSystem::queue_stats() const {
     stats.overflow_peak = std::max(stats.overflow_peak, tier.overflow_peak);
     stats.overflow_pushes += tier.overflow_pushes;
     stats.reseeds += tier.reseeds;
+    stats.unordered_runs += tier.unordered_runs;
+    stats.unordered_events += tier.unordered_events;
+    stats.ordered_run_events += tier.ordered_run_events;
   }
   return stats;
 }

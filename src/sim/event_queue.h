@@ -153,6 +153,24 @@ class EventQueue {
                       BatchPredicate pred, const void* ctx, BatchedEvent* out,
                       std::size_t max);
 
+  /// Time-partitioned unordered drain (kLadder only; returns 0 on kHeap,
+  /// which stays the ordered reference front-end). Pops channel events
+  /// that lie STRICTLY below the partition horizon — the earliest live
+  /// event that is not a drainable channel event (a slotted timer/closure/
+  /// cancellable entry, or a pred-rejected delivery) — without restoring
+  /// (time, seq) order first: buckets are swept in calendar order and
+  /// compacted in place, so the per-bucket drain sort is paid only for the
+  /// horizon-adjacent sliver that still fires through pop()/pop_run().
+  /// Emitted items are NOT sorted; callers must require order-independent
+  /// receivers (see Simulator::set_batch_channel — the batch contract plus
+  /// two partition obligations: processing must commute within a run, and
+  /// the predicate must be MONOTONE, i.e. once it accepts a payload it
+  /// accepts it forever — that is what keeps each bucket's cached horizon
+  /// scan (Bucket::bad_floor) conservative between calls).
+  std::size_t pop_run_unordered(Time t_end, std::uint32_t sink_kind,
+                                BatchPredicate pred, const void* ctx,
+                                BatchedEvent* out, std::size_t max);
+
   /// Total events ever scheduled (for stats / microbenchmarks).
   /// Reschedules consume sequence numbers (they re-enter the FIFO order),
   /// so this counts logical schedules exactly like cancel+schedule would.
@@ -175,6 +193,12 @@ class EventQueue {
     std::size_t overflow_peak = 0;  ///< overflow-tier occupancy high-water mark
     std::uint64_t overflow_pushes = 0;  ///< events routed via the overflow tier
     std::uint64_t reseeds = 0;      ///< windows rebuilt from the overflow tier
+    // Batch-channel run lengths (see pop_run / pop_run_unordered): how much
+    // of the fired traffic bypassed per-event dispatch, and how much of
+    // that additionally bypassed the drain sort entirely.
+    std::uint64_t unordered_runs = 0;    ///< partitioned drains that emitted
+    std::uint64_t unordered_events = 0;  ///< events drained below the horizon
+    std::uint64_t ordered_run_events = 0;  ///< events drained in sorted runs
   };
   const TierStats& tier_stats() const { return stats_; }
 
@@ -241,9 +265,22 @@ class EventQueue {
   /// One calendar bucket. Unsorted while it collects events; sorted in
   /// DESCENDING (time, seq) order when it becomes the drain head, so pops
   /// are pop_back and the live span is always exactly `items`.
+  ///
+  /// `bad_floor`/`scan_valid` cache the partitioned drain's horizon scan:
+  /// the earliest entry that CANNOT be drained unordered (slotted, or
+  /// pred-rejected — see pop_run_unordered). Every mutation that can add
+  /// such an entry clears `scan_valid` alongside `sorted`; removing
+  /// drainable entries (the partitioned compaction itself) keeps it, and a
+  /// monotone predicate keeps a stale floor conservative (too low, never
+  /// too high) — so the scan is paid once per bucket filling, not per call.
   struct Bucket {
     std::vector<Entry> items;
     bool sorted = false;
+    bool scan_valid = false;  ///< the two floors reflect the current items
+    Time bad_floor = 0.0;   ///< min time of a non-drainable entry (+inf: none)
+    Time good_floor = 0.0;  ///< lower bound on drainable entries' times —
+                            ///< lets a repeat sweep skip the whole bucket
+                            ///< in O(1) when the horizon has not moved
   };
 
   /// 22/42 split: ≤ 4M concurrent cancellable events (a 40k-node full-mesh
@@ -539,6 +576,7 @@ inline std::size_t EventQueue::pop_run(Time t_end, std::uint32_t sink_kind,
       bump_generation(slot);
       free_.push_back(slot);
     }
+    stats_.ordered_run_events += n;
     return n;
   }
   // Ladder: the drain bucket is sorted descending, so a matching run is a
@@ -588,6 +626,7 @@ inline std::size_t EventQueue::pop_run(Time t_end, std::uint32_t sink_kind,
     }
     if (mismatch || took != m) break;  // non-matching head (or max) stops
   }
+  stats_.ordered_run_events += n;
   return n;
 }
 

@@ -37,6 +37,8 @@ void Simulator::set_batch_channel(SinkId sink, EventKind kind,
   batch_kind_ = kind;
   batch_key_ = sink << 8 | static_cast<std::uint32_t>(kind);
   batch_buf_.resize(kMaxBatch);
+  run_buf_.resize(kMaxRun);
+  scratch_.ensure(kMaxRun);
 }
 
 EventId Simulator::post_at(Time t, EventKind kind, SinkId sink,
@@ -90,10 +92,23 @@ void Simulator::run_until(Time t_end) {
   EventQueue::Fired fired;
   for (;;) {
     if (batch_pred_ != nullptr) {
-      // Drain any pure-receive run at the head in one batch: the pops, the
-      // dispatch, and the sink's work all stay in tight loops. Accepted
-      // events cannot schedule (the channel contract), so nothing can
-      // preempt the run after it was popped.
+      // Time-partitioned tranche first (ladder backend): every channel
+      // event strictly below the partition horizon fires in one unordered
+      // batch, skipping the drain sort. now_ is deliberately NOT advanced
+      // — the tranche is unordered, each item carries its own fire time,
+      // and channel receivers never read now() (the batch contract); the
+      // clock next moves when an ordered event fires, which is ≥ every
+      // tranche item by the horizon's construction.
+      const std::size_t u =
+          queue_.pop_run_unordered(t_end, batch_key_, batch_pred_,
+                                   batch_ctx_, run_buf_.data(), kMaxRun);
+      if (u != 0) {
+        fired_ += u;
+        batch_sink_->on_event_batch(batch_kind_, run_buf_.data(), u);
+        continue;
+      }
+      // Ordered sliver: channel events at or beyond the horizon (barrier
+      // ties, heap backend) still drain as contiguous (time, seq) runs.
       const std::size_t n =
           queue_.pop_run(t_end, batch_key_, batch_pred_, batch_ctx_,
                          batch_buf_.data(), kMaxBatch);

@@ -54,10 +54,13 @@ void TraceCollector::commit() {
                           pending.end());
     pending.clear();
   }
-  // Each shard buffer is already time-sorted (fire order); the full-key
-  // sort canonicalizes the interleaving so the byte stream does not depend
-  // on the partition. With one shard this is a near-no-op pass that applies
-  // the same tie-breaking, keeping T=1 byte-identical with T>1.
+  // The full-key sort canonicalizes the stream so the bytes depend on
+  // neither the shard interleaving nor the capture order within a probe
+  // window: shard buffers arrive in fire order, which since the
+  // partitioned drain is only (time, seq)-sorted between barriers — the
+  // unordered tranches land here in calendar-sweep order. Both collapse to
+  // the same bytes under the canonical (time, sender, dest, kind, level,
+  // value) key; key ties are whole-record ties (see trace/format.h).
   std::sort(merge_scratch_.begin(), merge_scratch_.end(), record_key_less);
   for (const Record& record : merge_scratch_) writer_.append(record);
 }

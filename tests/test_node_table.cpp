@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/ftgcs_system.h"
 #include "metrics/skew_tracker.h"
 #include "net/graph.h"
+#include "sim/rng.h"
 
 namespace ftgcs::core {
 namespace {
@@ -180,6 +182,78 @@ TEST(NodeTable, ExecutionInvariantUnderDrainBatching) {
   EXPECT_EQ(whole.gamma, heap_whole.gamma);
   EXPECT_EQ(heap_whole.events, heap_sliced.events);
   EXPECT_EQ(heap_whole.logical, heap_sliced.logical);
+}
+
+// The partitioned drain's proof obligation, pinned: committing one
+// tranche of receives to a lane in ANY order must produce bit-identical
+// lane state (arrival slots, own_arrival, dropped, duplicates). The
+// min-combine in lane_commit is what buys this — see the ORDER
+// INDEPENDENCE comment in core/receive_lane.h.
+TEST(ReceiveLane, CommitOrderIndependentWithinATranche) {
+  constexpr int k = 4;
+  const auto fresh = [] {
+    ReceiveLane lane;
+    lane.arrivals = lane.inline_arrivals;
+    for (double& slot : lane.inline_arrivals) slot = kUnsetArrival;
+    lane.clock.l0 = 100.0;
+    lane.clock.t0 = 10.0;
+    lane.clock.rate = 1.25;
+    lane.own_index = 2;
+    lane.listening = 1;
+    return lane;
+  };
+
+  // A tranche with duplicates (several receives per member, distinct
+  // times), the own member among them, and one member unheard.
+  struct Receive {
+    int member;
+    double at;
+  };
+  std::vector<Receive> tranche = {
+      {0, 11.5}, {1, 11.75}, {0, 11.25}, {2, 12.0},
+      {1, 11.6}, {2, 11.9},  {0, 11.8},
+  };
+
+  const auto commit_all = [&](ReceiveLane& lane) {
+    for (const Receive& r : tranche) {
+      lane_commit(lane, r.member, lane_arrival_value(lane, r.at));
+    }
+  };
+  ReceiveLane expected = fresh();
+  commit_all(expected);
+
+  // Every rotation + a few swap-shuffles of the tranche.
+  sim::Rng rng(41);
+  for (int perm = 0; perm < 24; ++perm) {
+    if (perm < static_cast<int>(tranche.size())) {
+      std::rotate(tranche.begin(), tranche.begin() + 1, tranche.end());
+    } else {
+      const std::size_t a = rng.below(tranche.size());
+      const std::size_t b = rng.below(tranche.size());
+      std::swap(tranche[a], tranche[b]);
+    }
+    ReceiveLane lane = fresh();
+    commit_all(lane);
+    for (int m = 0; m < k; ++m) {
+      const double want = expected.inline_arrivals[m];
+      const double got = lane.inline_arrivals[m];
+      if (want == want) {
+        EXPECT_EQ(want, got) << "member " << m;
+      } else {
+        EXPECT_NE(got, got) << "member " << m;  // still unheard
+      }
+    }
+    EXPECT_EQ(expected.own_arrival, lane.own_arrival);
+    EXPECT_EQ(expected.dropped, lane.dropped);
+    EXPECT_EQ(expected.duplicates, lane.duplicates);
+  }
+
+  // Not listening: every receive is a pure drop in any order.
+  ReceiveLane deaf = fresh();
+  deaf.listening = 0;
+  commit_all(deaf);
+  EXPECT_EQ(deaf.dropped, tranche.size());
+  for (double slot : deaf.inline_arrivals) EXPECT_NE(slot, slot);
 }
 
 }  // namespace

@@ -159,6 +159,42 @@ TEST(TraceFormat, CapturedRunBytesIdenticalAcrossShardsAndEngines) {
             run_with(2, sim::QueueBackend::kHeap, temp_path("id_heap.ftr")));
 }
 
+// The time-partitioned drain pin: a monitored `large_torus` slice (the
+// heaviest registered workload per round, the one the partitioned drain
+// exists for) must stream byte-identical traces at --shards 1 and 2,
+// and ftgcs_trace's differ must agree. The run_unordered counters prove
+// the NEW path actually carried traffic — without that assertion this
+// would silently degrade into re-pinning the old ordered drain.
+TEST(TraceFormat, TorusMonitoredSliceIdenticalAcrossShardsViaPartitionedDrain) {
+  exp::register_builtin_scenarios();
+  ScenarioSpec spec = *exp::Registry::instance().find("large_torus");
+  spec.axes = {{"clusters", {AxisValue::of(64)}}};
+  apply_axis(spec, "clusters", 64.0);
+
+  const auto run_with = [&](int shards, const std::string& path) {
+    ScenarioSpec s = spec;
+    s.shards = shards;
+    s.engine = sim::QueueBackend::kLadder;
+    s.trace_path = path;
+    const exp::RunResult result = run_point(s, 1);
+    EXPECT_TRUE(result.trace.enabled);
+    EXPECT_GT(result.trace.records, 0.0);
+    // Pure-receive pulses below the horizon went through the unordered
+    // partitioned drain, not only the ordered batch runs.
+    EXPECT_GT(result.queue.unordered_events, 0.0) << "shards=" << shards;
+    return read_file(path);
+  };
+
+  const std::string path_s1 = temp_path("torus_s1.ftr");
+  const std::string path_s2 = temp_path("torus_s2.ftr");
+  const std::string base = run_with(1, path_s1);
+  EXPECT_EQ(base, run_with(2, path_s2));
+
+  const trace::TraceDiff diff = trace::diff_traces(path_s1, path_s2);
+  EXPECT_TRUE(diff.identical) << diff.reason;
+  EXPECT_GT(diff.records_compared, 0u);
+}
+
 TEST(TraceFormat, DiffLocalizesSingleBitCorruption) {
   const std::string path_a = temp_path("diff_a.ftr");
   const std::string path_b = temp_path("diff_b.ftr");
