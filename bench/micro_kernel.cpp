@@ -19,7 +19,9 @@
 #include "byz/fault_plan.h"
 #include "core/ftgcs_system.h"
 #include "core/triggers.h"
+#include "net/augmented.h"
 #include "net/graph.h"
+#include "net/network.h"
 #include "par/sharded_system.h"
 #include "exp/topology_graph.h"
 #include "net/channel.h"
@@ -251,6 +253,103 @@ BENCHMARK(BM_EventEngineDeepPopulationLadder)
     ->Arg(4096)
     ->Arg(65536)
     ->Arg(400000);
+
+// Narrow-entry group insert kernel: one coalesced fan-out call per
+// broadcast (torus degree 4 + loopback) against a standing population.
+// The ladder variant rides the 16 B narrow lane + 40 B shared group
+// record; the heap variant measures the per-delivery wide fallback the
+// same call degrades to, so the pair pins what coalescing buys at the
+// queue level. Items are deliveries popped per second.
+void QueueNarrowInsert(benchmark::State& state, sim::QueueBackend backend) {
+  constexpr int kFanout = 5;  // torus degree 4 + loopback
+  static const std::int32_t kRest[kFanout - 1] = {1, 2, 3, 4};
+  sim::Rng rng(41);
+  sim::EventQueue queue(backend);
+  queue.reserve(8192);
+  sim::EventPayload proto;
+  proto.a = 7;
+  proto.d = static_cast<std::uint32_t>(net::PulseKind::kClusterPulse);
+  sim::Duration delays[kFanout];
+  double now = 0.0;
+  const auto post_group = [&] {
+    for (int j = 0; j < kFanout; ++j) {
+      delays[j] = 0.9 + 0.2 * rng.next_double();
+    }
+    queue.schedule_fire_only_group(now, delays, kFanout,
+                                   sim::EventKind::kPulse, 0, proto, 0,
+                                   kRest);
+  };
+  for (int i = 0; i < 800; ++i) post_group();  // standing population
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 200; ++i) post_group();
+    for (int i = 0; i < 1000; ++i) {
+      const auto fired = queue.pop();
+      now = fired.at;
+      benchmark::DoNotOptimize(fired.payload.c);
+    }
+    events += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+void BM_QueueNarrowInsert(benchmark::State& state) {
+  QueueNarrowInsert(state, sim::QueueBackend::kHeap);
+}
+BENCHMARK(BM_QueueNarrowInsert);
+void BM_QueueNarrowInsertLadder(benchmark::State& state) {
+  QueueNarrowInsert(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_QueueNarrowInsertLadder);
+
+// Coalesced broadcast fan-out through the real network layer: every node
+// of an augmented 64-cluster torus broadcasts once (encode once, sample
+// all per-edge delays, hand the queue ONE pre-encoded group), then the
+// simulator drains all deliveries. This is the Network::broadcast →
+// Simulator::post_fire_only_group → dispatch chain the 40k hot path
+// runs on, minus the protocol logic. Items are deliveries per second.
+void BroadcastCoalescedFanout(benchmark::State& state,
+                              sim::QueueBackend backend) {
+  struct CountSink final : net::PulseSink {
+    std::uint64_t received = 0;
+    void on_pulse(const net::Pulse&, sim::Time) override { ++received; }
+  };
+  net::AugmentedTopology topo(net::Graph::torus(8, 8), 1);
+  const int n = topo.num_nodes();
+  sim::Simulator sim(backend);
+  sim.reserve_events(1024);
+  net::Network network(sim, &topo.adjacency(),
+                       std::make_unique<net::UniformDelay>(1.0, 0.01),
+                       sim::Rng(51));
+  std::vector<CountSink> sinks(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) network.register_handler(id, &sinks[id]);
+  std::uint64_t deliveries = 0;
+  net::Pulse pulse;
+  std::size_t fanout = 0;
+  for (int from = 0; from < n; ++from) {
+    fanout += topo.adjacency()[static_cast<std::size_t>(from)].size() + 1;
+  }
+  for (auto _ : state) {
+    for (int from = 0; from < n; ++from) {
+      pulse.sender = from;
+      network.broadcast(from, pulse);
+    }
+    sim.run_until(sim.now() + 2.0);  // every delay < 2: drains everything
+    deliveries += fanout;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(deliveries));
+  state.counters["deliveries"] = benchmark::Counter(
+      static_cast<double>(deliveries), benchmark::Counter::kIsRate);
+}
+void BM_BroadcastCoalescedFanout(benchmark::State& state) {
+  BroadcastCoalescedFanout(state, sim::QueueBackend::kHeap);
+}
+BENCHMARK(BM_BroadcastCoalescedFanout);
+void BM_BroadcastCoalescedFanoutLadder(benchmark::State& state) {
+  BroadcastCoalescedFanout(state, sim::QueueBackend::kLadder);
+}
+BENCHMARK(BM_BroadcastCoalescedFanoutLadder);
 
 // ---- protocol kernels -------------------------------------------------------
 

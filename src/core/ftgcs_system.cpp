@@ -8,7 +8,12 @@
 namespace ftgcs::core {
 
 FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
-    : topo_(std::move(cluster_graph), config.params.k),
+    : owned_topo_(config.shared_topo != nullptr
+                      ? nullptr
+                      : std::make_unique<net::AugmentedTopology>(
+                            std::move(cluster_graph), config.params.k)),
+      topo_(config.shared_topo != nullptr ? *config.shared_topo
+                                          : *owned_topo_),
       config_(std::move(config)),
       sim_(config_.engine) {
   FTGCS_EXPECTS(config_.params.feasible());
@@ -43,7 +48,9 @@ FtGcsSystem::FtGcsSystem(net::Graph cluster_graph, Config config)
                     ? std::move(config_.delay_model)
                     : std::make_unique<net::UniformDelay>(config_.params.d,
                                                           config_.params.U);
-  network_ = std::make_unique<net::Network>(sim_, topo_.adjacency(),
+  // Borrowed adjacency: the topology outlives the network (member order),
+  // so no per-system copy of the O(E) neighbor lists.
+  network_ = std::make_unique<net::Network>(sim_, &topo_.adjacency(),
                                             std::move(delays), master.fork(1));
   network_->set_trace(config_.trace_sink);
   if (shard.active()) {

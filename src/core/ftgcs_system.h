@@ -98,6 +98,15 @@ class FtGcsSystem {
     /// Shard scoping; default = unsharded (every cluster owned).
     ShardView shard;
 
+    /// Shared immutable topology: when set, the system binds to this
+    /// augmented topology (and its adjacency) by reference instead of
+    /// building its own from `cluster_graph` — the sharded driver builds
+    /// the O(E) structure ONCE and every shard reuses it, killing the
+    /// O(T·E) per-shard setup term. Must have been built from the same
+    /// cluster graph and params.k, and must outlive the system; the
+    /// `cluster_graph` constructor argument is ignored when set.
+    const net::AugmentedTopology* shared_topo = nullptr;
+
     /// Observability: mirror every fired pulse delivery to this sink
     /// (trace::TraceCollector::shard_sink). Owned by the caller, must
     /// outlive the system; nullptr = tracing off (one dead branch per
@@ -167,7 +176,12 @@ class FtGcsSystem {
   void schedule_edge_toggle(int b, int c, bool active, sim::Time at);
 
  private:
-  net::AugmentedTopology topo_;
+  /// Built only when Config::shared_topo is unset; topo_ is the single
+  /// access path either way. Declared first so everything that borrows
+  /// from the topology (network adjacency, node tables, in-flight
+  /// broadcast groups in the queue) is destroyed before it.
+  std::unique_ptr<net::AugmentedTopology> owned_topo_;
+  const net::AugmentedTopology& topo_;
   Config config_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;

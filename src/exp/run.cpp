@@ -117,6 +117,9 @@ RunResult::QueueTiers queue_tiers(const sim::EventQueue::TierStats& stats) {
   tiers.unordered_runs = static_cast<double>(stats.unordered_runs);
   tiers.unordered_events = static_cast<double>(stats.unordered_events);
   tiers.ordered_run_events = static_cast<double>(stats.ordered_run_events);
+  tiers.narrow_events = static_cast<double>(stats.narrow_events);
+  tiers.wide_events = static_cast<double>(stats.wide_events);
+  tiers.group_inserts = static_cast<double>(stats.group_inserts);
   return tiers;
 }
 
@@ -396,6 +399,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
       config.cluster_round_offsets = offsets;
       config.shards = plan.num_shards;
       config.plan = std::move(plan);  // probed above; skip the re-census
+      config.shared_topo = &topo;  // one topology for driver + every shard
       // Every shard replays the same rate draws: the factory rebuilds the
       // model from the same spec and seed per shard.
       if (run.drift.kind != DriftKind::kSpreadConstant) {
@@ -420,6 +424,7 @@ RunResult run_ftgcs(const ResolvedRun& run) {
       build_drift(run.drift, params, clusters, params.k, run.seed);
   config.fault_plan = run.fault_plan;
   config.cluster_round_offsets = offsets;
+  config.shared_topo = &topo;  // already built above for metrics
   if (collector != nullptr) config.trace_sink = collector->shard_sink(0);
 
   core::FtGcsSystem system(run.graph, std::move(config));

@@ -72,6 +72,10 @@ struct RunResult {
     double unordered_runs = 0.0;    ///< partitioned drains that emitted
     double unordered_events = 0.0;  ///< events drained below the horizon
     double ordered_run_events = 0.0;  ///< events drained in sorted runs
+    // Bytes-per-event split (EventQueue narrow delivery lane).
+    double narrow_events = 0.0;   ///< 16 B narrow deliveries scheduled
+    double wide_events = 0.0;     ///< 32 B entries scheduled
+    double group_inserts = 0.0;   ///< coalesced fan-out groups created
   };
   QueueTiers queue;
 

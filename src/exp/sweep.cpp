@@ -158,6 +158,9 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
     sweep.queue.unordered_runs += tiers.unordered_runs;
     sweep.queue.unordered_events += tiers.unordered_events;
     sweep.queue.ordered_run_events += tiers.ordered_run_events;
+    sweep.queue.narrow_events += tiers.narrow_events;
+    sweep.queue.wide_events += tiers.wide_events;
+    sweep.queue.group_inserts += tiers.group_inserts;
     const RunResult::ShardDiag& shard = results[i].shard;
     if (shard.shards > 0.0) {
       sweep.shard.min_cut_delay =

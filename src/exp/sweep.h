@@ -59,6 +59,12 @@ struct SweepResult {
     double unordered_runs = 0.0;
     double unordered_events = 0.0;
     double ordered_run_events = 0.0;
+    // Bytes-per-event split, summed over tasks: how many scheduled
+    // deliveries took the 16 B narrow fast-path lane vs the 32 B wide
+    // entry, and how many coalesced broadcast groups carried them.
+    double narrow_events = 0.0;
+    double wide_events = 0.0;
+    double group_inserts = 0.0;
   };
   QueueTierTotals queue;
 

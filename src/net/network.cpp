@@ -46,16 +46,32 @@ Network::Network(sim::Simulator& simulator,
                  std::vector<std::vector<int>> adjacency,
                  std::unique_ptr<DelayModel> delays, sim::Rng rng)
     : sim_(simulator),
-      adjacency_(std::move(adjacency)),
+      adjacency_storage_(std::move(adjacency)),
+      adj_(&adjacency_storage_),
       delays_(std::move(delays)),
-      sinks_(adjacency_.size(), nullptr) {
+      sinks_(adj_->size(), nullptr) {
+  init_streams(std::move(rng));
+}
+
+Network::Network(sim::Simulator& simulator,
+                 const std::vector<std::vector<int>>* adjacency,
+                 std::unique_ptr<DelayModel> delays, sim::Rng rng)
+    : sim_(simulator),
+      adj_(adjacency),
+      delays_(std::move(delays)),
+      sinks_(adjacency == nullptr ? 0 : adj_->size(), nullptr) {
+  FTGCS_EXPECTS(adjacency != nullptr);
+  init_streams(std::move(rng));
+}
+
+void Network::init_streams(sim::Rng rng) {
   FTGCS_EXPECTS(delays_ != nullptr);
   uniform_channel_ = dynamic_cast<const UniformDelay*>(delays_.get()) != nullptr;
-  self_ = simulator.register_sink(this);
-  edge_streams_.reserve(adjacency_.size());
-  loopback_streams_.reserve(adjacency_.size());
+  self_ = sim_.register_sink(this);
+  edge_streams_.reserve(adj_->size());
+  loopback_streams_.reserve(adj_->size());
   std::uint64_t salt = 0;
-  for (const auto& neighbors : adjacency_) {
+  for (const auto& neighbors : *adj_) {
     std::vector<sim::Rng> streams;
     streams.reserve(neighbors.size());
     for (std::size_t j = 0; j < neighbors.size(); ++j) {
@@ -98,11 +114,23 @@ void Network::set_shard_router(ShardRouter* router,
   FTGCS_EXPECTS(router != nullptr && remote != nullptr);
   router_ = router;
   remote_ = remote;
+  // Precompute which senders own a cut edge: only those need the
+  // per-delivery divert loop in broadcast(); interior senders keep the
+  // coalesced group path even in sharded runs.
+  boundary_.assign(adj_->size(), 0);
+  for (std::size_t v = 0; v < adj_->size(); ++v) {
+    for (const int nb : (*adj_)[v]) {
+      if (remote[static_cast<std::size_t>(nb)] != 0) {
+        boundary_[v] = 1;
+        break;
+      }
+    }
+  }
 }
 
 const std::vector<int>& Network::neighbors(int node) const {
   FTGCS_EXPECTS(node >= 0 && node < num_nodes());
-  return adjacency_[node];
+  return (*adj_)[static_cast<std::size_t>(node)];
 }
 
 bool Network::are_neighbors(int a, int b) const {
@@ -112,7 +140,7 @@ bool Network::are_neighbors(int a, int b) const {
 
 sim::Rng& Network::edge_rng(int from, int to) {
   if (from == to) return loopback_streams_[static_cast<std::size_t>(from)];
-  const auto& nb = adjacency_[static_cast<std::size_t>(from)];
+  const auto& nb = (*adj_)[static_cast<std::size_t>(from)];
   const auto it = std::find(nb.begin(), nb.end(), to);
   FTGCS_EXPECTS(it != nb.end());
   return edge_streams_[static_cast<std::size_t>(from)]
@@ -177,34 +205,49 @@ void Network::on_event_batch(sim::EventKind kind,
 void Network::broadcast(int from, const Pulse& pulse) {
   FTGCS_EXPECTS(from >= 0 && from < num_nodes());
   FTGCS_EXPECTS(pulse.sender == from);
-  const auto& neighbors = adjacency_[static_cast<std::size_t>(from)];
+  const auto& neighbors = (*adj_)[static_cast<std::size_t>(from)];
   // One delivery group: loopback first, then neighbors in adjacency order
   // (streams are indexed by position — no per-edge find(); edge_rng(),
   // which searches, stays for the unicast paths only), so the draw order
   // each per-edge stream observes is unchanged. The payload is encoded
-  // once and only re-aimed per destination; destinations come from the
-  // validated adjacency and delays from the channel's own sampler, so the
-  // per-delivery bounds checks of the unicast path are hoisted out of the
-  // loop. The arrival times all sit within one delay spread, so on the
-  // ladder engine the burst lands as contiguous appends into the same few
-  // near-future buckets — O(degree) with no per-message tree walks.
+  // once; destinations come from the validated adjacency and delays from
+  // the channel's own sampler, so the per-delivery bounds checks of the
+  // unicast path are hoisted out of the loop.
   messages_sent_ += neighbors.size() + 1;
   sim::EventPayload payload = encode(pulse, from);
+  auto& streams = edge_streams_[static_cast<std::size_t>(from)];
+  if (remote_ == nullptr || boundary_[static_cast<std::size_t>(from)] == 0) {
+    // Coalesced fan-out (unsharded, or a sharded sender with no cut edge):
+    // all delays are sampled first — the exact streams and draw order of
+    // the per-delivery loop below — then the queue takes ONE pre-encoded
+    // group, paying bucket lookup, window check, and the shared payload
+    // write per fan-out instead of per delivery (16 B/delivery; see
+    // EventQueue::schedule_fire_only_group). The destination list is
+    // borrowed straight from the adjacency, which outlives every
+    // in-flight delivery.
+    if (group_delays_.size() <= neighbors.size()) {
+      group_delays_.resize(neighbors.size() + 1);
+    }
+    group_delays_[0] = sample_delay(
+        from, from, loopback_streams_[static_cast<std::size_t>(from)]);
+    for (std::size_t j = 0; j < neighbors.size(); ++j) {
+      group_delays_[j + 1] = sample_delay(from, neighbors[j], streams[j]);
+    }
+    sim_.post_fire_only_group(group_delays_.data(), neighbors.size() + 1,
+                              sim::EventKind::kPulse, self_, payload, from,
+                              neighbors.data());
+    return;
+  }
+  // Boundary sender of a sharded run: identical draws and encode-once
+  // re-aiming, but deliveries crossing the shard cut divert to the router
+  // with their arrival time. Diverted deliveries consume no local seqs, so
+  // the local remainder's per-delivery posts stay bit-identical to the
+  // unsharded group's slice of the same destinations.
+  payload.c = from;
   sim_.post_fire_only_after(
       sample_delay(from, from,
                    loopback_streams_[static_cast<std::size_t>(from)]),
       sim::EventKind::kPulse, self_, payload);
-  auto& streams = edge_streams_[static_cast<std::size_t>(from)];
-  if (remote_ == nullptr) {  // unsharded: the dominant, branch-free loop
-    for (std::size_t j = 0; j < neighbors.size(); ++j) {
-      payload.c = neighbors[j];  // re-aim; everything else is fixed
-      sim_.post_fire_only_after(sample_delay(from, neighbors[j], streams[j]),
-                                sim::EventKind::kPulse, self_, payload);
-    }
-    return;
-  }
-  // Sharded: identical draws and encode-once re-aiming, but deliveries
-  // crossing the shard cut divert to the router with their arrival time.
   for (std::size_t j = 0; j < neighbors.size(); ++j) {
     payload.c = neighbors[j];
     const sim::Duration delay = sample_delay(from, neighbors[j], streams[j]);

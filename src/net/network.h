@@ -109,7 +109,17 @@ class Network final : public sim::EventSink {
   Network(sim::Simulator& simulator, std::vector<std::vector<int>> adjacency,
           std::unique_ptr<DelayModel> delays, sim::Rng rng);
 
-  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  /// Borrowed-adjacency overload: shares an immutable adjacency owned by
+  /// the caller instead of copying it — one topology can feed every shard
+  /// of a sharded run (and the single-run path) with zero duplication.
+  /// `adjacency` must stay valid, unchanged, for the network's lifetime
+  /// (broadcast delivery groups additionally borrow the neighbor lists
+  /// until the last delivery fires; an outliving topology satisfies both).
+  Network(sim::Simulator& simulator,
+          const std::vector<std::vector<int>>* adjacency,
+          std::unique_ptr<DelayModel> delays, sim::Rng rng);
+
+  int num_nodes() const { return static_cast<int>(adj_->size()); }
 
   /// Installs the receive sink for `node`. Must be set before any message
   /// can be delivered to it. The sink must outlive the network.
@@ -188,6 +198,7 @@ class Network final : public sim::EventSink {
                      sim::Duration delay);
   void deliver(int from, int to, const Pulse& pulse, sim::Duration delay);
   sim::Rng& edge_rng(int from, int to);
+  void init_streams(sim::Rng rng);
 
   sim::Duration sample_delay(int from, int to, sim::Rng& rng) const {
     // Devirtualized fast path for the default uniform channel: same draw,
@@ -200,7 +211,8 @@ class Network final : public sim::EventSink {
 
   sim::Simulator& sim_;
   sim::SinkId self_ = sim::kInvalidSink;
-  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> adjacency_storage_;  ///< owned-adjacency mode
+  const std::vector<std::vector<int>>* adj_ = nullptr;  ///< always valid
   std::unique_ptr<DelayModel> delays_;
   bool uniform_channel_ = false;
   std::vector<PulseSink*> sinks_;
@@ -214,6 +226,13 @@ class Network final : public sim::EventSink {
   // position-in-adjacency-list -> Rng; loopback stream is separate.
   std::vector<std::vector<sim::Rng>> edge_streams_;
   std::vector<sim::Rng> loopback_streams_;
+  /// Broadcast scratch: all of one fan-out's delays sampled here before the
+  /// queue sees the group (loopback at [0], neighbor j at [j + 1]).
+  std::vector<sim::Duration> group_delays_;
+  /// Sharded runs: 1 for senders with at least one cut (remote) neighbor —
+  /// those keep the per-delivery divert loop; everyone else broadcasts
+  /// through the coalesced group path. Empty until set_shard_router.
+  std::vector<std::uint8_t> boundary_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
 };

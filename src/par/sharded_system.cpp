@@ -73,15 +73,24 @@ struct ShardedFtGcsSystem::Phases {
 ShardedFtGcsSystem::ShardedFtGcsSystem(net::Graph cluster_graph,
                                        Config config) {
   FTGCS_EXPECTS(config.shards >= 2);
+  // Build (or borrow) the augmented topology ONCE. Every shard — and the
+  // degenerate-plan census below — binds to this single instance, killing
+  // the O(T·E) per-shard topology rebuild of the old construction.
+  if (config.shared_topo != nullptr) {
+    topo_ = config.shared_topo;
+  } else {
+    owned_topo_ = std::make_unique<net::AugmentedTopology>(cluster_graph,
+                                                           config.params.k);
+    topo_ = owned_topo_.get();
+  }
   if (!config.plan.degenerate()) {
     plan_ = std::move(config.plan);
     FTGCS_EXPECTS(plan_.num_shards <= config.shards);
     FTGCS_EXPECTS(static_cast<int>(plan_.cluster_owner.size()) ==
                   cluster_graph.num_vertices());
   } else {
-    const net::AugmentedTopology topo(cluster_graph, config.params.k);
     const net::UniformDelay delays(config.params.d, config.params.U);
-    plan_ = make_shard_plan(exp::build_topology_graph(topo, delays),
+    plan_ = make_shard_plan(exp::build_topology_graph(*topo_, delays),
                             config.shards);
   }
   // A degenerate plan has no conservative window; the caller must probe
@@ -111,13 +120,16 @@ ShardedFtGcsSystem::ShardedFtGcsSystem(net::Graph cluster_graph,
     }
     shard_config.shard = {s, t, plan_.cluster_owner.data(),
                           routers_.back().get()};
+    shard_config.shared_topo = topo_;  // borrow, don't rebuild, per shard
     if (config.trace != nullptr) {
       // Serial, before the workers spawn — each buffer is then touched
       // only by its own shard's worker.
       shard_config.trace_sink = config.trace->shard_sink(s);
     }
+    // With shared_topo set the shard ignores its graph argument — pass an
+    // empty one instead of copying the real graph T times.
     shards_.push_back(std::make_unique<core::FtGcsSystem>(
-        cluster_graph, std::move(shard_config)));
+        net::Graph(0), std::move(shard_config)));
   }
 
   // Owned node ids are contiguous per shard (clusters are striped and
@@ -264,6 +276,9 @@ sim::EventQueue::TierStats ShardedFtGcsSystem::queue_stats() const {
     stats.unordered_runs += tier.unordered_runs;
     stats.unordered_events += tier.unordered_events;
     stats.ordered_run_events += tier.ordered_run_events;
+    stats.narrow_events += tier.narrow_events;
+    stats.wide_events += tier.wide_events;
+    stats.group_inserts += tier.group_inserts;
   }
   return stats;
 }

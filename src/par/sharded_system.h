@@ -89,6 +89,12 @@ class ShardedFtGcsSystem {
     /// run). Owned by the caller, must outlive the system; the caller
     /// commits at quiesced probe boundaries. nullptr = tracing off.
     trace::TraceCollector* trace = nullptr;
+    /// Shared immutable topology (see core::FtGcsSystem::Config): when
+    /// set, neither the driver nor any shard builds its own augmented
+    /// topology — all T + 1 consumers bind to this one. Must outlive the
+    /// system. When unset the driver builds one copy and shares it with
+    /// every shard (still one build total, not T).
+    const net::AugmentedTopology* shared_topo = nullptr;
   };
 
   /// Deterministic, engine-independent diagnostics of one sharded run
@@ -116,9 +122,7 @@ class ShardedFtGcsSystem {
   sim::Time now() const { return now_; }
   int num_shards() const { return plan_.num_shards; }
   const ShardPlan& plan() const { return plan_; }
-  const net::AugmentedTopology& topology() const {
-    return shards_.front()->topology();
-  }
+  const net::AugmentedTopology& topology() const { return *topo_; }
   const core::Params& params() const { return shards_.front()->params(); }
 
   /// Merged ground-truth snapshot (each node read from its owner shard).
@@ -157,6 +161,12 @@ class ShardedFtGcsSystem {
   void phase(sim::Time bound);
   void worker_loop(int shard);
 
+  /// The ONE augmented topology of the whole run (built here unless
+  /// Config::shared_topo supplied it); every shard borrows it. Declared
+  /// before shards_ so it outlives them (and their queues' in-flight
+  /// broadcast groups).
+  std::unique_ptr<net::AugmentedTopology> owned_topo_;
+  const net::AugmentedTopology* topo_ = nullptr;
   ShardPlan plan_;
   std::unique_ptr<MailboxGrid> mailboxes_;
   std::vector<std::unique_ptr<Router>> routers_;      // one per shard

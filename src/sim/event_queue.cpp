@@ -15,6 +15,7 @@ void EventQueue::reserve(std::size_t capacity) {
     heap_.reserve(capacity);
   } else {
     bag_.reserve(capacity);
+    bag_narrow_.reserve(capacity);
     // Bucket headers only; each bucket's item vector grows on demand and
     // keeps its capacity across windows, so the steady state is
     // allocation-free either way.
@@ -57,7 +58,8 @@ void EventQueue::push_overflow(const Entry& entry) {
   }
   bag_.push_back(entry);
   ++stats_.overflow_pushes;
-  if (bag_.size() > stats_.overflow_peak) stats_.overflow_peak = bag_.size();
+  const std::size_t occ = bag_.size() + bag_narrow_.size();
+  if (occ > stats_.overflow_peak) stats_.overflow_peak = occ;
 }
 
 namespace {
@@ -81,10 +83,11 @@ void EventQueue::bucket_insert(Bucket& bucket, bool rung, std::size_t index,
     positions_[entry.slot()] = encode_bucket_pos(rung, index, bucket.items.size());
   }
   bucket.items.push_back(entry);
-  // If this is the drain head, the next pop re-sorts the remaining span;
-  // for a not-yet-reached bucket the flag is false already. The inserted
-  // entry may be non-drainable, so the horizon-scan cache drops with it.
-  bucket.sorted = false;
+  // If this is the drain head, the next pop re-sorts the remaining wide
+  // span (the untouched narrow lane keeps its flag); for a not-yet-reached
+  // bucket the flag is false already. The inserted entry may be
+  // non-drainable, so the horizon-scan cache drops with it.
+  bucket.sorted_wide = false;
   bucket.scan_valid = false;
   if (rung) {
     ++rung_live_;
@@ -116,6 +119,79 @@ void EventQueue::insert_ladder(const Entry& entry) {
     return;
   }
   bucket_insert(wheel_[index], /*rung=*/false, index, entry);
+}
+
+void EventQueue::insert_narrow(const NarrowEntry& entry) {
+  // Mirrors insert_ladder for the slotless 16-byte lane: same window test,
+  // same clamped bucket routing, so a narrow delivery lands in exactly the
+  // bucket (and fires in exactly the order) its 32-byte twin would have.
+  if (entry.at >= win_end_ || wheel_live_ + rung_live_ == 0) {
+    bag_narrow_.push_back(entry);
+    ++stats_.overflow_pushes;
+    const std::size_t occ = bag_.size() + bag_narrow_.size();
+    if (occ > stats_.overflow_peak) stats_.overflow_peak = occ;
+    return;
+  }
+  const std::size_t index =
+      clamp_bucket_index((entry.at - win_start_) / bucket_width_, wheel_cur_,
+                         wheel_nb_ - 1);
+  Bucket* bucket = &wheel_[index];
+  bool rung = false;
+  if (index == wheel_cur_ && rung_active_) {
+    const std::size_t sub =
+        clamp_bucket_index((entry.at - rung_start_) / rung_width_, rung_cur_,
+                           rung_nb_ - 1);
+    bucket = &rung_[sub];
+    rung = true;
+  }
+  bucket->narrow.push_back(entry);
+  bucket->sorted_narrow = false;  // the wide lane is untouched
+  bucket->scan_valid = false;
+  if (rung) {
+    ++rung_live_;
+  } else {
+    ++wheel_live_;
+  }
+}
+
+void EventQueue::insert_ladder_group(Time base, const Duration* delays,
+                                     std::size_t count, EventKind kind,
+                                     SinkId sink, const EventPayload& proto,
+                                     std::int32_t first_dest,
+                                     const std::int32_t* rest_dests) {
+  std::uint32_t gid;
+  if (!free_gids_.empty()) {
+    gid = free_gids_.back();
+    free_gids_.pop_back();
+  } else {
+    gid = static_cast<std::uint32_t>(groups_.size());
+    groups_.emplace_back();
+    // gids ride in the entry key's slot field; keep them out of the
+    // inline-sentinel range so a narrow key can never read as inline.
+    FTGCS_ASSERT(groups_.size() < kInlineBase);
+  }
+  GroupRec& g = groups_[gid];
+  g.base_seq = next_seq_;
+  g.rest = rest_dests;
+  g.first_dest = first_dest;
+  g.a = proto.a;
+  g.b = proto.b;
+  g.d = proto.d;
+  g.sink_kind = sink << 8 | static_cast<std::uint32_t>(kind);
+  g.live = static_cast<std::uint32_t>(count);
+  // One bump of `count`: delivery i gets base_seq + i, exactly the seqs
+  // `count` sequential schedule_fire_only calls would have consumed.
+  next_seq_ += count;
+  FTGCS_ASSERT(next_seq_ < (std::uint64_t{1} << kSeqBits));
+  ++stats_.group_inserts;
+  stats_.narrow_events += count;
+  NarrowEntry e;
+  for (std::size_t i = 0; i < count; ++i) {
+    FTGCS_EXPECTS(delays[i] >= 0.0);
+    e.at = base + delays[i];
+    e.key = (g.base_seq + i) << kSlotBits | gid;
+    insert_narrow(e);
+  }
 }
 
 void EventQueue::remove_resident(std::uint32_t slot) {
@@ -154,7 +230,7 @@ void EventQueue::remove_resident(std::uint32_t slot) {
       positions_[moved.slot()] = encode_bucket_pos(rung, bucket_index, idx);
     }
   }
-  bucket.sorted = false;  // a swap-remove breaks the drain order
+  bucket.sorted_wide = false;  // a swap-remove breaks the wide drain order
   bucket.scan_valid = false;
   if (rung) {
     --rung_live_;
@@ -170,20 +246,37 @@ void EventQueue::sort_bucket(Bucket& bucket) {
   // multi-MB positions_ array. Instead they go stale and remove_resident
   // verifies the slot before trusting an index (scan fallback; only the
   // drain bucket is ever sorted, so the case is rare and the scan short).
-  std::sort(bucket.items.begin(), bucket.items.end(),
-            [](const Entry& a, const Entry& b) { return earlier(b, a); });
-  bucket.sorted = true;
+  // Lanes sort independently: a clean lane (common when only the delivery
+  // band's narrow inserts dirtied the head) keeps its existing order —
+  // pops and the unordered compaction both preserve it.
+  if (!bucket.sorted_wide) {
+    std::sort(bucket.items.begin(), bucket.items.end(),
+              [](const Entry& a, const Entry& b) { return earlier(b, a); });
+    bucket.sorted_wide = true;
+  }
+  if (!bucket.sorted_narrow) {
+    std::sort(bucket.narrow.begin(), bucket.narrow.end(),
+              [](const NarrowEntry& a, const NarrowEntry& b) {
+                return earlier(b, a);
+              });
+    bucket.sorted_narrow = true;
+  }
   head_cache_ = &bucket;
 }
 
 void EventQueue::spawn_rung(Bucket& bucket) {
   head_cache_ = nullptr;  // rung_ may reallocate below
-  const std::size_t n = bucket.items.size();
+  const std::size_t n = bucket_size(bucket);
   rung_nb_ = std::clamp(n / kRungFanout, kMinBuckets, kMaxRungBuckets);
   if (rung_.size() < rung_nb_) rung_.resize(rung_nb_);
-  Time tmin = bucket.items.front().at;
+  Time tmin = bucket.items.empty() ? bucket.narrow.front().at
+                                   : bucket.items.front().at;
   Time tmax = tmin;
   for (const Entry& e : bucket.items) {
+    tmin = std::min(tmin, e.at);
+    tmax = std::max(tmax, e.at);
+  }
+  for (const NarrowEntry& e : bucket.narrow) {
     tmin = std::min(tmin, e.at);
     tmax = std::max(tmax, e.at);
   }
@@ -200,13 +293,23 @@ void EventQueue::spawn_rung(Bucket& bucket) {
           encode_bucket_pos(/*rung=*/true, sub, target.items.size());
     }
     target.items.push_back(e);
-    target.sorted = false;
+    target.sorted_wide = false;
+    target.scan_valid = false;
+  }
+  for (const NarrowEntry& e : bucket.narrow) {
+    const std::size_t sub = clamp_bucket_index(
+        (e.at - rung_start_) / rung_width_, 0, rung_nb_ - 1);
+    Bucket& target = rung_[sub];  // narrow entries have no position word
+    target.narrow.push_back(e);
+    target.sorted_narrow = false;
     target.scan_valid = false;
   }
   rung_live_ += n;
   wheel_live_ -= n;
   bucket.items.clear();
-  bucket.sorted = false;
+  bucket.narrow.clear();
+  bucket.sorted_wide = false;
+  bucket.sorted_narrow = false;
   bucket.scan_valid = false;
   rung_cur_ = 0;
   rung_active_ = true;
@@ -214,13 +317,18 @@ void EventQueue::spawn_rung(Bucket& bucket) {
 }
 
 void EventQueue::reseed() {
-  FTGCS_ASSERT(wheel_live_ == 0 && rung_live_ == 0 && !bag_.empty());
+  FTGCS_ASSERT(wheel_live_ == 0 && rung_live_ == 0 &&
+               !(bag_.empty() && bag_narrow_.empty()));
   head_cache_ = nullptr;  // wheel_ may reallocate below
   rung_active_ = false;
-  const std::size_t n = bag_.size();
-  Time tmin = bag_.front().at;
+  const std::size_t n = bag_.size() + bag_narrow_.size();
+  Time tmin = bag_.empty() ? bag_narrow_.front().at : bag_.front().at;
   Time tmax = tmin;
   for (const Entry& e : bag_) {
+    tmin = std::min(tmin, e.at);
+    tmax = std::max(tmax, e.at);
+  }
+  for (const NarrowEntry& e : bag_narrow_) {
     tmin = std::min(tmin, e.at);
     tmax = std::max(tmax, e.at);
   }
@@ -252,11 +360,20 @@ void EventQueue::reseed() {
           encode_bucket_pos(/*rung=*/false, index, target.items.size());
     }
     target.items.push_back(e);
-    target.sorted = false;
+    target.sorted_wide = false;
+    target.scan_valid = false;
+  }
+  for (const NarrowEntry& e : bag_narrow_) {
+    const std::size_t index = clamp_bucket_index(
+        (e.at - win_start_) / bucket_width_, 0, wheel_nb_ - 1);
+    Bucket& target = wheel_[index];
+    target.narrow.push_back(e);
+    target.sorted_narrow = false;
     target.scan_valid = false;
   }
   wheel_live_ = n;
   bag_.clear();
+  bag_narrow_.clear();
   ++stats_.reseeds;
   stats_.bucket_count = std::max(stats_.bucket_count, wheel_nb_);
 }
@@ -264,32 +381,32 @@ void EventQueue::reseed() {
 bool EventQueue::prepare_head() {
   for (;;) {
     if (rung_active_) {
-      while (rung_cur_ < rung_nb_ && rung_[rung_cur_].items.empty()) {
+      while (rung_cur_ < rung_nb_ && bucket_empty(rung_[rung_cur_])) {
         ++rung_cur_;
       }
       if (rung_cur_ < rung_nb_) {
         Bucket& bucket = rung_[rung_cur_];
-        if (!bucket.sorted) sort_bucket(bucket);
+        if (!bucket_sorted(bucket)) sort_bucket(bucket);
         head_cache_ = &bucket;
         return true;
       }
       rung_active_ = false;
       ++wheel_cur_;
     }
-    while (wheel_cur_ < wheel_nb_ && wheel_[wheel_cur_].items.empty()) {
+    while (wheel_cur_ < wheel_nb_ && bucket_empty(wheel_[wheel_cur_])) {
       ++wheel_cur_;
     }
     if (wheel_cur_ < wheel_nb_) {
       Bucket& bucket = wheel_[wheel_cur_];
-      if (!bucket.sorted && bucket.items.size() > kRungSpawnThreshold) {
+      if (!bucket_sorted(bucket) && bucket_size(bucket) > kRungSpawnThreshold) {
         spawn_rung(bucket);
         continue;
       }
-      if (!bucket.sorted) sort_bucket(bucket);
+      if (!bucket_sorted(bucket)) sort_bucket(bucket);
       head_cache_ = &bucket;
       return true;
     }
-    if (bag_.empty()) return false;
+    if (bag_.empty() && bag_narrow_.empty()) return false;
     reseed();
   }
 }
@@ -302,12 +419,18 @@ Time EventQueue::next_time() const {
   // the pop order are unchanged.
   EventQueue& self = const_cast<EventQueue&>(*this);
   if (!self.prepare_head()) return kTimeInfinity;
-  return self.head_cache_->items.back().at;
+  const Bucket& b = *self.head_cache_;
+  if (!b.narrow.empty() &&
+      (b.items.empty() || earlier(b.narrow.back(), b.items.back()))) {
+    return b.narrow.back().at;
+  }
+  return b.items.back().at;
 }
 
 EventId EventQueue::push_entry(Time t, std::uint32_t slot) {
   const std::uint64_t seq = next_seq_++;
   FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
+  ++stats_.wide_events;
   if (backend_ == QueueBackend::kHeap) {
     const HeapEntry entry{t, seq << kSlotBits | slot};
     heap_.emplace_back();  // grow; sift places the entry into the hole chain
@@ -357,6 +480,7 @@ void EventQueue::schedule_fire_only(Time t, EventKind kind, SinkId sink,
   }
   const std::uint64_t seq = next_seq_++;
   FTGCS_ASSERT(seq < (std::uint64_t{1} << kSeqBits));
+  ++stats_.wide_events;
   Entry entry;
   entry.at = t;
   entry.key = seq << kSlotBits | (kInlineBase + payload.d);
@@ -365,6 +489,30 @@ void EventQueue::schedule_fire_only(Time t, EventKind kind, SinkId sink,
   entry.c = payload.c;
   entry.sink_kind = sink << 8 | static_cast<std::uint32_t>(kind);
   insert_ladder(entry);
+}
+
+void EventQueue::schedule_fire_only_group(Time base, const Duration* delays,
+                                          std::size_t count, EventKind kind,
+                                          SinkId sink,
+                                          const EventPayload& proto,
+                                          std::int32_t first_dest,
+                                          const std::int32_t* rest_dests) {
+  FTGCS_EXPECTS(kind != EventKind::kClosure);
+  FTGCS_EXPECTS(sink < (1u << 24));
+  if (count == 0) return;
+  if (backend_ == QueueBackend::kHeap || proto.x != 0.0) {
+    // Per-delivery fallback consumes sequence numbers in exactly the same
+    // order, so the pop sequence is unchanged (the heap keeps its slotted
+    // reference layout; x ≠ 0 has no home in the group record).
+    EventPayload pl = proto;
+    for (std::size_t i = 0; i < count; ++i) {
+      pl.c = i == 0 ? first_dest : rest_dests[i - 1];
+      schedule_fire_only(base + delays[i], kind, sink, pl);
+    }
+    return;
+  }
+  insert_ladder_group(base, delays, count, kind, sink, proto, first_dest,
+                      rest_dests);
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -420,7 +568,7 @@ bool EventQueue::reschedule(EventId id, Time t) {
       if (idx < bucket.items.size() && bucket.items[idx].slot() == slot) {
         bucket.items[idx].at = t;
         bucket.items[idx].key = key;
-        bucket.sorted = false;
+        bucket.sorted_wide = false;
         bucket.scan_valid = false;
         return true;
       }
@@ -457,20 +605,28 @@ std::size_t EventQueue::pop_run_unordered(Time t_end, std::uint32_t sink_kind,
   const auto drain_bucket = [&](Bucket& bucket, bool rung,
                                 std::size_t index) -> bool {
     std::vector<Entry>& items = bucket.items;
-    if (items.empty()) return true;
-    if (bucket.sorted) {
+    std::vector<NarrowEntry>& narrow = bucket.narrow;
+    if (items.empty() && narrow.empty()) return true;
+    if (bucket_sorted(bucket)) {
       // A partially drained head belongs to the ordered path (its pops
-      // are in flight); its minimum is the back entry, and every later
-      // bucket sits at or above this bucket's range — stop here.
-      bad_lim = std::min(bad_lim, items.back().at);
+      // are in flight); its minimum is the earlier of the two lanes' back
+      // entries, and every later bucket sits at or above this bucket's
+      // range — stop here.
+      Time head = kTimeInfinity;
+      if (!items.empty()) head = std::min(head, items.back().at);
+      if (!narrow.empty()) head = std::min(head, narrow.back().at);
+      bad_lim = std::min(bad_lim, head);
       return false;
     }
+    bool decoded = false;  // this call's scan filled unordered_decode_
     if (!bucket.scan_valid) {
       // Pass 1 — horizon scan: the earliest entry that must NOT be
       // reordered. Slotted entries carry sink_kind 0 (never a real
       // channel), so timers/closures/cancellables are caught by the same
       // compare as foreign-channel traffic. The drainable minimum rides
-      // along as the repeat-sweep guard below.
+      // along as the repeat-sweep guard below. Narrow decodes (a group
+      // record plus a random adjacency read each) are kept for pass 2 —
+      // any entry this scan admits, the emit below reuses verbatim.
       Time bad = kTimeInfinity;
       Time good = kTimeInfinity;
       EventPayload pl;
@@ -487,6 +643,20 @@ std::size_t EventQueue::pop_run_unordered(Time t_end, std::uint32_t sink_kind,
         }
         bad = std::min(bad, e.at);
       }
+      const std::size_t mn0 = narrow.size();
+      if (unordered_decode_.size() < mn0) unordered_decode_.resize(mn0);
+      for (std::size_t i = 0; i < mn0; ++i) {
+        const NarrowEntry& e = narrow[i];
+        if (narrow_sink_kind(e) == sink_kind) {
+          narrow_payload(e, unordered_decode_[i]);
+          if (pred(unordered_decode_[i], ctx)) {
+            good = std::min(good, e.at);
+            continue;
+          }
+        }
+        bad = std::min(bad, e.at);
+      }
+      decoded = true;
       bucket.bad_floor = bad;
       bucket.good_floor = good;
       bucket.scan_valid = true;
@@ -498,8 +668,9 @@ std::size_t EventQueue::pop_run_unordered(Time t_end, std::uint32_t sink_kind,
       bad_lim = std::min(bad_lim, bucket.bad_floor);
       return true;
     }
-    // Pass 2 — emit + compact. `lim ≤ bad_floor`, so `at < lim` admits
-    // only drainable entries: no predicate re-evaluation here.
+    // Pass 2 — emit + compact, one lane at a time (emission is unordered,
+    // so lane interleaving is free). `lim ≤ bad_floor`, so `at < lim`
+    // admits only drainable entries: no predicate re-evaluation here.
     const std::size_t m = items.size();
     std::size_t w = 0;
     std::size_t r = 0;
@@ -533,9 +704,40 @@ std::size_t EventQueue::pop_run_unordered(Time t_end, std::uint32_t sink_kind,
       }
       ++w;
     }
-    const std::size_t took = m - w;
+    std::size_t took = m - w;
+    if (m != w) items.resize(w);  // Entry is trivially destructible
+    // Narrow lane: the same emit + compact, minus the positions rewrite
+    // (narrow entries are never cancellable) plus the group retire.
+    const std::size_t mn = narrow.size();
+    std::size_t wn = 0;
+    std::size_t rn = 0;
+    for (; rn < mn; ++rn) {
+      const NarrowEntry& e = narrow[rn];
+      if (e.at < lim && e.at <= t_end) {
+        if (n == max) break;
+        BatchedEvent& slot = out[n++];
+        slot.at = e.at;
+        // Everything below lim passed the scan's predicate, so a scan run
+        // by THIS call already decoded it (same index — the lane has not
+        // been compacted in between). A cached scan means decoding here.
+        if (decoded) {
+          slot.payload = unordered_decode_[rn];
+        } else {
+          narrow_payload(e, slot.payload);
+        }
+        narrow_retire(e.key);
+        continue;
+      }
+      if (wn != rn) narrow[wn] = e;
+      ++wn;
+    }
+    for (; rn < mn; ++rn) {
+      if (wn != rn) narrow[wn] = narrow[rn];
+      ++wn;
+    }
+    took += mn - wn;
+    if (mn != wn) narrow.resize(wn);
     if (took != 0) {
-      items.resize(w);  // Entry is trivially destructible
       if (rung) {
         rung_live_ -= took;
       } else {
@@ -564,7 +766,7 @@ std::size_t EventQueue::pop_run_unordered(Time t_end, std::uint32_t sink_kind,
     if (wheel_live_ + rung_live_ == 0) {
       // Window drained with no barrier found: rebuild it from the
       // overflow tier, exactly as prepare_head would, and keep sweeping.
-      if (bag_.empty()) break;
+      if (bag_.empty() && bag_narrow_.empty()) break;
       reseed();
     }
     bool cont = true;

@@ -33,11 +33,22 @@
 // order, so the pop sequence is bit-identical between backends (pinned by
 // tests/test_queue_differential.cpp and the golden scenario traces).
 //
-// Two further ladder-only specializations carry the 40k-node workloads:
+// Three further ladder-only specializations carry the 40k-node workloads:
 //   * fire-only events (schedule_fire_only — all network deliveries) store
 //     their payload INLINE in the bucket entry: no slot acquire, no
 //     position write, no generation bump — zero random pool accesses on
 //     the dominant path;
+//   * a BROADCAST FAN-OUT (schedule_fire_only_group — one sender's pulse
+//     delivered to ~k² neighbors within one delay spread) is coalesced:
+//     the shared payload fields (sender, level, kind, sink) are written
+//     ONCE into a pooled group record and each delivery becomes a NARROW
+//     16-byte entry {time, seq·group} in a second per-bucket lane — half
+//     the streaming bytes of the 32-byte inline entry, on the path PR 7's
+//     profile showed to be memory-bound. Destinations are not copied at
+//     all: the group keeps a borrowed pointer into the caller's adjacency
+//     list and the delivery index recovers them (seq − base_seq), so seq
+//     assignment is in exactly the caller's per-delivery order and the pop
+//     sequence stays bit-identical to N separate schedule_fire_only calls;
 //   * for cancellable events, positions_ generalizes the heap index to a
 //     tagged residence word (bag index, wheel bucket, or rung bucket), so
 //     cancel and reschedule stay O(1) swap-removals wherever the event
@@ -98,6 +109,28 @@ class EventQueue {
   void schedule_fire_only(Time t, EventKind kind, SinkId sink,
                           const EventPayload& payload);
 
+  /// Coalesced broadcast insert: schedules `count` fire-only deliveries of
+  /// one logical send in a single call. Delivery i fires at
+  /// `base + delays[i]` aimed at destination i — `first_dest` for i = 0
+  /// (the sender's loopback) and `rest_dests[i − 1]` beyond — carrying the
+  /// payload template `proto` with only `c` re-aimed (`proto.c` is
+  /// ignored). Sequence numbers are assigned in delivery order, so the pop
+  /// sequence is bit-identical to `count` schedule_fire_only calls in the
+  /// same order.
+  ///
+  /// On the ladder backend (and x == 0 payloads) this takes the narrow
+  /// 16-byte entry path: the shared fields live in one pooled group record
+  /// and `rest_dests` is BORROWED — it must stay valid and unchanged until
+  /// every delivery of the group has fired (network adjacency lists
+  /// qualify; they outlive the run). The heap backend and x ≠ 0 payloads
+  /// fall back to per-delivery scheduling with identical (time, seq)
+  /// semantics.
+  void schedule_fire_only_group(Time base, const Duration* delays,
+                                std::size_t count, EventKind kind,
+                                SinkId sink, const EventPayload& proto,
+                                std::int32_t first_dest,
+                                const std::int32_t* rest_dests);
+
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a no-op (returns false). Stamp bump + targeted
   /// removal from wherever the entry lives; no search, no allocation.
@@ -110,13 +143,14 @@ class EventQueue {
 
   /// True if no live events remain.
   bool empty() const {
-    return heap_.empty() && bag_.empty() && wheel_live_ == 0 &&
-           rung_live_ == 0;
+    return heap_.empty() && bag_.empty() && bag_narrow_.empty() &&
+           wheel_live_ == 0 && rung_live_ == 0;
   }
 
   /// Number of live (not cancelled, not fired) events.
   std::size_t size() const {
-    return heap_.size() + bag_.size() + wheel_live_ + rung_live_;
+    return heap_.size() + bag_.size() + bag_narrow_.size() + wheel_live_ +
+           rung_live_;
   }
 
   /// Time of the earliest live event; kTimeInfinity when empty. On the
@@ -199,6 +233,21 @@ class EventQueue {
     std::uint64_t unordered_runs = 0;    ///< partitioned drains that emitted
     std::uint64_t unordered_events = 0;  ///< events drained below the horizon
     std::uint64_t ordered_run_events = 0;  ///< events drained in sorted runs
+    // Bytes-per-event split (see schedule_fire_only_group): how much of the
+    // scheduled traffic rode the narrow 16-byte delivery lane vs the wide
+    // 32-byte entries (inline fire-only + slotted), and how many pooled
+    // group records the narrow traffic shared.
+    std::uint64_t narrow_events = 0;   ///< 16 B narrow deliveries scheduled
+    std::uint64_t wide_events = 0;     ///< 32 B entries scheduled
+    std::uint64_t group_inserts = 0;   ///< coalesced fan-out groups created
+
+    /// Entry bytes written at schedule time under the ladder layout
+    /// (16 B narrow + 32 B wide + one 40 B group record per fan-out; the
+    /// heap's slotted entries are counted at the same 32 B for
+    /// comparability). Reseed/rung redistribution traffic is not included.
+    std::uint64_t entry_bytes() const {
+      return 16 * narrow_events + 32 * wide_events + 40 * group_inserts;
+    }
   };
   const TierStats& tier_stats() const { return stats_; }
 
@@ -262,9 +311,39 @@ class EventQueue {
   };
   static_assert(sizeof(Entry) == 32);
 
+  /// The narrow delivery entry (schedule_fire_only_group): nothing but the
+  /// sort key. The low kSlotBits of `key` hold the owning group-record
+  /// index instead of a slot; the seq in the high bits recovers the
+  /// destination (seq − base_seq indexes the group's borrowed dest list).
+  /// Sequence numbers are unique across narrow and wide entries, so the
+  /// shared (time, seq) comparator merges the two lanes exactly.
+  struct NarrowEntry {
+    Time at;
+    std::uint64_t key;  ///< seq << kSlotBits | group id
+  };
+  static_assert(sizeof(NarrowEntry) == 16);
+
+  /// Shared state of one coalesced fan-out: the payload fields that are
+  /// identical across the whole broadcast, written once per ~k² deliveries.
+  /// `live` counts undecoded deliveries; at zero the record is recycled
+  /// through free_gids_. `rest` is borrowed from the caller (see
+  /// schedule_fire_only_group) and never owned here.
+  struct GroupRec {
+    std::uint64_t base_seq = 0;          ///< seq of delivery 0 (first_dest)
+    const std::int32_t* rest = nullptr;  ///< dests of deliveries 1..count−1
+    std::int32_t first_dest = 0;
+    std::int32_t a = 0;                  ///< EventPayload::a
+    std::int32_t b = 0;                  ///< EventPayload::b
+    std::uint32_t d = 0;                 ///< EventPayload::d (unrestricted)
+    std::uint32_t sink_kind = 0;         ///< sink << 8 | kind
+    std::uint32_t live = 0;              ///< deliveries still in the queue
+  };
+  static_assert(sizeof(GroupRec) == 40);
+
   /// One calendar bucket. Unsorted while it collects events; sorted in
   /// DESCENDING (time, seq) order when it becomes the drain head, so pops
-  /// are pop_back and the live span is always exactly `items`.
+  /// are pop_back and the live span is always exactly `items` + `narrow`
+  /// (two lanes, merged on pop by the shared comparator).
   ///
   /// `bad_floor`/`scan_valid` cache the partitioned drain's horizon scan:
   /// the earliest entry that CANNOT be drained unordered (slotted, or
@@ -275,13 +354,31 @@ class EventQueue {
   /// too high) — so the scan is paid once per bucket filling, not per call.
   struct Bucket {
     std::vector<Entry> items;
-    bool sorted = false;
+    std::vector<NarrowEntry> narrow;  ///< 16 B delivery lane (see NarrowEntry)
+    /// Per-lane drain-order flags: an insert dirties only its own lane, so
+    /// a narrow burst into a partially drained head re-sorts 16 B entries
+    /// without touching the (already ordered) wide lane — at 40k nodes the
+    /// delivery band lands thousands of narrow inserts per drain bucket
+    /// and a shared flag made the wide introsort the top profile entry.
+    /// Pops and compaction preserve order, so a set flag survives them.
+    bool sorted_wide = false;
+    bool sorted_narrow = false;
     bool scan_valid = false;  ///< the two floors reflect the current items
     Time bad_floor = 0.0;   ///< min time of a non-drainable entry (+inf: none)
     Time good_floor = 0.0;  ///< lower bound on drainable entries' times —
                             ///< lets a repeat sweep skip the whole bucket
                             ///< in O(1) when the horizon has not moved
   };
+  static bool bucket_empty(const Bucket& b) {
+    return b.items.empty() && b.narrow.empty();
+  }
+  /// Drain-head order means BOTH lanes are in descending (time, seq) order.
+  static bool bucket_sorted(const Bucket& b) {
+    return b.sorted_wide && b.sorted_narrow;
+  }
+  static std::size_t bucket_size(const Bucket& b) {
+    return b.items.size() + b.narrow.size();
+  }
 
   /// 22/42 split: ≤ 4M concurrent cancellable events (a 40k-node full-mesh
   /// run keeps ~400k in flight) and ~4.4e12 lifetime schedules before the
@@ -339,10 +436,13 @@ class EventQueue {
   static constexpr std::size_t kRungFanout = 16;
   static constexpr std::size_t kMaxRungBuckets = 4096;
 
-  template <typename E>
-  static bool earlier(const E& a, const E& b) {
+  template <typename A, typename B = A>
+  static bool earlier(const A& a, const B& b) {
     // Branchless: heap order is data-random, so a short-circuit here is a
-    // guaranteed misprediction fountain inside the sift loops.
+    // guaranteed misprediction fountain inside the sift loops. The two-type
+    // form merges the narrow and wide lanes of one bucket: both carry the
+    // same {at, key} prefix and seqs are unique across lanes, so the packed
+    // low key bits (slot vs group id) never decide an ordering.
     return (a.at < b.at) | ((a.at == b.at) & (a.key < b.key));
   }
 
@@ -356,6 +456,33 @@ class EventQueue {
   void fill_fired_slot(Time at, std::uint32_t slot, Fired& out);
   void fill_fired(const Entry& head, Fired& out);
 
+  // ---- narrow-lane helpers (schedule_fire_only_group) -----------------------
+  static std::uint32_t narrow_gid(std::uint64_t key) {
+    return static_cast<std::uint32_t>(key) & ((1u << kSlotBits) - 1);
+  }
+  /// Decodes a narrow entry's payload from its group record: the delivery
+  /// index (seq − base_seq) selects the destination, everything else is
+  /// the group's shared state.
+  void narrow_payload(const NarrowEntry& e, EventPayload& pl) const {
+    const GroupRec& g = groups_[narrow_gid(e.key)];
+    const std::uint64_t idx = (e.key >> kSlotBits) - g.base_seq;
+    pl.a = g.a;
+    pl.b = g.b;
+    pl.c = idx == 0 ? g.first_dest : g.rest[idx - 1];
+    pl.d = g.d;
+    pl.x = 0.0;  // x ≠ 0 groups take the per-delivery fallback
+  }
+  std::uint32_t narrow_sink_kind(const NarrowEntry& e) const {
+    return groups_[narrow_gid(e.key)].sink_kind;
+  }
+  /// One delivery of the group left the queue; the record is recycled when
+  /// the last one goes.
+  void narrow_retire(std::uint64_t key) {
+    const std::uint32_t gid = narrow_gid(key);
+    if (--groups_[gid].live == 0) free_gids_.push_back(gid);
+  }
+  void fill_fired_narrow(const NarrowEntry& head, Fired& out);
+
   void place(const HeapEntry& entry, std::size_t i) {
     heap_[i] = entry;
     positions_[entry.slot()] = static_cast<std::uint64_t>(i);
@@ -368,6 +495,11 @@ class EventQueue {
   // ---- ladder tier helpers (event_queue.cpp) --------------------------------
   void push_overflow(const Entry& entry);
   void insert_ladder(const Entry& entry);
+  void insert_narrow(const NarrowEntry& entry);
+  void insert_ladder_group(Time base, const Duration* delays,
+                           std::size_t count, EventKind kind, SinkId sink,
+                           const EventPayload& proto, std::int32_t first_dest,
+                           const std::int32_t* rest_dests);
   void bucket_insert(Bucket& bucket, bool rung, std::size_t index,
                      const Entry& entry);
   /// Removes the (cancellable) entry of `slot` from wherever it lives.
@@ -391,6 +523,14 @@ class EventQueue {
   std::vector<std::uint32_t> free_;
   std::vector<HeapEntry> heap_;  ///< kHeap: the whole queue
   std::vector<Entry> bag_;       ///< kLadder: unsorted far-future overflow
+  std::vector<NarrowEntry> bag_narrow_;  ///< narrow-lane overflow companion
+  /// Pooled fan-out group records (kLadder narrow lane). Indexed by the low
+  /// kSlotBits of a NarrowEntry key; recycled through free_gids_ when the
+  /// last live delivery of a group is popped. Only destroyed wholesale —
+  /// the borrowed `rest` pointers are never dereferenced at destruction,
+  /// so queue teardown is independent of the callers' adjacency lifetime.
+  std::vector<GroupRec> groups_;
+  std::vector<std::uint32_t> free_gids_;
   std::uint64_t next_seq_ = 1;
 
   // ---- calendar window (kLadder only) ---------------------------------------
@@ -411,11 +551,16 @@ class EventQueue {
   bool rung_active_ = false;
 
   /// The sorted, non-empty bucket pops come from. Any mutation that could
-  /// change the head either clears the bucket's sorted flag (insert,
-  /// swap-remove) or nulls this cache (reseed, rung spawn — the backing
-  /// vectors may reallocate there), so a sorted non-empty cached bucket is
-  /// always the true head.
+  /// change the head either clears a lane's sorted flag (insert,
+  /// swap-remove — bucket_sorted then fails) or nulls this cache (reseed,
+  /// rung spawn — the backing vectors may reallocate there), so a sorted
+  /// non-empty cached bucket is always the true head.
   Bucket* head_cache_ = nullptr;
+
+  /// pop_run_unordered scratch: payloads decoded during a bucket's horizon
+  /// scan, reused verbatim by the same call's emit pass so each narrow
+  /// entry's group record + destination read happens once, not twice.
+  std::vector<EventPayload> unordered_decode_;
 
   TierStats stats_;
 };
@@ -519,6 +664,20 @@ inline void EventQueue::fill_fired(const Entry& head, Fired& out) {
   fill_fired_slot(head.at, head.slot(), out);
 }
 
+inline void EventQueue::fill_fired_narrow(const NarrowEntry& head, Fired& out) {
+  // Decodes through the group record and RETIRES the delivery (the caller
+  // is about to pop it); gid reuse cannot bite because the fields are read
+  // before the record is freed.
+  out.at = head.at;
+  out.id = EventId{0};
+  const std::uint32_t sk = narrow_sink_kind(head);
+  out.kind = static_cast<EventKind>(sk & 0xffu);
+  out.sink = sk >> 8;
+  narrow_payload(head, out.payload);
+  out.fn = nullptr;
+  narrow_retire(head.key);
+}
+
 inline bool EventQueue::pop_if_at_most(Time t_end, Fired& out) {
   if (backend_ == QueueBackend::kHeap) {
     if (heap_.empty() || heap_[0].at > t_end) return false;
@@ -527,26 +686,37 @@ inline bool EventQueue::pop_if_at_most(Time t_end, Fired& out) {
     fill_fired_slot(head.at, head.slot(), out);
     return true;
   }
-  // Ladder fast path: the drain bucket is sorted descending, so the head
-  // is one back() read and the pop one pop_back — no sift, no tree walk.
+  // Ladder fast path: the drain bucket is sorted descending in both lanes,
+  // so the head is one back() read per lane (merged by the shared
+  // comparator — seqs are unique across lanes) and the pop one pop_back —
+  // no sift, no tree walk.
   Bucket* bucket = head_cache_;
-  if (bucket == nullptr || !bucket->sorted || bucket->items.empty()) {
+  if (bucket == nullptr || !bucket_sorted(*bucket) || bucket_empty(*bucket)) {
     if (!prepare_head()) return false;
     bucket = head_cache_;
   }
   const std::size_t n = bucket->items.size();
-  const Entry& head = bucket->items[n - 1];
-  if (head.at > t_end) return false;
-  if (n >= 2) {
-    const Entry& next = bucket->items[n - 2];
-    if (!next.is_inline()) {
-      // The next pop's slot record is a random access into a multi-MB
-      // pool; start pulling it while this event is dispatched.
-      __builtin_prefetch(&slots_[next.slot()], 1);
+  const std::size_t nn = bucket->narrow.size();
+  if (nn != 0 &&
+      (n == 0 || earlier(bucket->narrow[nn - 1], bucket->items[n - 1]))) {
+    const NarrowEntry& head = bucket->narrow[nn - 1];
+    if (head.at > t_end) return false;
+    fill_fired_narrow(head, out);
+    bucket->narrow.pop_back();
+  } else {
+    const Entry& head = bucket->items[n - 1];
+    if (head.at > t_end) return false;
+    if (n >= 2) {
+      const Entry& next = bucket->items[n - 2];
+      if (!next.is_inline()) {
+        // The next pop's slot record is a random access into a multi-MB
+        // pool; start pulling it while this event is dispatched.
+        __builtin_prefetch(&slots_[next.slot()], 1);
+      }
     }
+    fill_fired(head, out);
+    bucket->items.pop_back();
   }
-  fill_fired(head, out);
-  bucket->items.pop_back();
   if (rung_active_) {
     --rung_live_;
   } else {
@@ -579,44 +749,70 @@ inline std::size_t EventQueue::pop_run(Time t_end, std::uint32_t sink_kind,
     stats_.ordered_run_events += n;
     return n;
   }
-  // Ladder: the drain bucket is sorted descending, so a matching run is a
-  // contiguous suffix — scan it backwards, then retire it with ONE resize
-  // and one live-counter update per bucket instead of per event. The run
-  // keeps flowing across bucket (and rung/reseed) boundaries through
-  // prepare_head(). Cancellable entries leave Entry::sink_kind at 0 and
-  // can never match a real channel.
+  // Ladder: both lanes of the drain bucket are sorted descending, so a
+  // matching run is a contiguous suffix of their merge — walk the two
+  // tails with the shared comparator, then retire each lane with ONE
+  // resize and one live-counter update per bucket instead of per event.
+  // The run keeps flowing across bucket (and rung/reseed) boundaries
+  // through prepare_head(). Cancellable entries leave Entry::sink_kind at
+  // 0 and can never match a real channel.
   while (n < max) {
     Bucket* bucket = head_cache_;
-    if (bucket == nullptr || !bucket->sorted || bucket->items.empty()) {
+    if (bucket == nullptr || !bucket_sorted(*bucket) || bucket_empty(*bucket)) {
       if (!prepare_head()) break;
       bucket = head_cache_;
     }
     const std::vector<Entry>& items = bucket->items;
+    const std::vector<NarrowEntry>& narrow = bucket->narrow;
     const std::size_t m = items.size();
-    const std::size_t want = max - n < m ? max - n : m;
-    std::size_t took = 0;
+    const std::size_t mn = narrow.size();
+    std::size_t tw = 0;  // taken from the wide lane
+    std::size_t tn = 0;  // taken from the narrow lane
     bool mismatch = false;
-    while (took < want) {
-      const Entry& e = items[m - 1 - took];
-      if (e.at > t_end || e.sink_kind != sink_kind) {
-        mismatch = true;
-        break;
+    while (n + tw + tn < max) {
+      const bool have_w = tw < m;
+      const bool have_n = tn < mn;
+      if (!have_w && !have_n) break;
+      BatchedEvent& slot = out[n + tw + tn];
+      if (have_n &&
+          (!have_w || earlier(narrow[mn - 1 - tn], items[m - 1 - tw]))) {
+        const NarrowEntry& e = narrow[mn - 1 - tn];
+        if (e.at > t_end || narrow_sink_kind(e) != sink_kind) {
+          mismatch = true;
+          break;
+        }
+        slot.at = e.at;
+        narrow_payload(e, slot.payload);
+        if (!pred(slot.payload, ctx)) {
+          mismatch = true;
+          break;
+        }
+        narrow_retire(e.key);
+        ++tn;
+      } else {
+        const Entry& e = items[m - 1 - tw];
+        if (e.at > t_end || e.sink_kind != sink_kind) {
+          mismatch = true;
+          break;
+        }
+        slot.at = e.at;
+        slot.payload.a = e.a;
+        slot.payload.b = e.b;
+        slot.payload.c = e.c;
+        slot.payload.d = e.inline_d();
+        slot.payload.x = 0.0;
+        if (!pred(slot.payload, ctx)) {
+          mismatch = true;
+          break;
+        }
+        ++tw;
       }
-      BatchedEvent& slot = out[n + took];
-      slot.at = e.at;
-      slot.payload.a = e.a;
-      slot.payload.b = e.b;
-      slot.payload.c = e.c;
-      slot.payload.d = e.inline_d();
-      slot.payload.x = 0.0;
-      if (!pred(slot.payload, ctx)) {
-        mismatch = true;
-        break;
-      }
-      ++took;
     }
+    const std::size_t took = tw + tn;
     if (took != 0) {
-      bucket->items.resize(m - took);  // Entry is trivially destructible
+      // Entry/NarrowEntry are trivially destructible.
+      if (tw != 0) bucket->items.resize(m - tw);
+      if (tn != 0) bucket->narrow.resize(mn - tn);
       if (rung_active_) {
         rung_live_ -= took;
       } else {
@@ -624,7 +820,7 @@ inline std::size_t EventQueue::pop_run(Time t_end, std::uint32_t sink_kind,
       }
       n += took;
     }
-    if (mismatch || took != m) break;  // non-matching head (or max) stops
+    if (mismatch || took != m + mn) break;  // non-matching head (or max)
   }
   stats_.ordered_run_events += n;
   return n;

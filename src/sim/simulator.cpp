@@ -69,6 +69,16 @@ void Simulator::post_fire_only_at(Time t, EventKind kind, SinkId sink,
   queue_.schedule_fire_only(t, kind, sink, payload);
 }
 
+void Simulator::post_fire_only_group(const Duration* delays, std::size_t count,
+                                     EventKind kind, SinkId sink,
+                                     const EventPayload& proto,
+                                     std::int32_t first_dest,
+                                     const std::int32_t* rest_dests) {
+  FTGCS_EXPECTS(sink < sinks_.size());
+  queue_.schedule_fire_only_group(now_, delays, count, kind, sink, proto,
+                                  first_dest, rest_dests);
+}
+
 void Simulator::dispatch(EventQueue::Fired& fired) {
   if (fired.kind == EventKind::kClosure) {
     fired.fn();

@@ -97,6 +97,19 @@ class Simulator {
   void post_fire_only_at(Time t, EventKind kind, SinkId sink,
                          const EventPayload& payload);
 
+  /// Coalesced broadcast: `count` fire-only deliveries of one logical send
+  /// in a single queue call — delivery i at now() + delays[i], aimed at
+  /// `first_dest` (i = 0) or `rest_dests[i − 1]`, carrying `proto` with
+  /// only `c` re-aimed. Fires bit-identically to `count` sequential
+  /// post_fire_only_after calls; on the ladder backend the deliveries
+  /// share one pooled group record and 16-byte entries, and `rest_dests`
+  /// must stay valid until the last delivery fires (see
+  /// EventQueue::schedule_fire_only_group).
+  void post_fire_only_group(const Duration* delays, std::size_t count,
+                            EventKind kind, SinkId sink,
+                            const EventPayload& proto, std::int32_t first_dest,
+                            const std::int32_t* rest_dests);
+
   /// Cancels a pending event; no-op if already fired/cancelled.
   bool cancel(EventId id) { return queue_.cancel(id); }
 

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/rng.h"
@@ -51,6 +53,31 @@ class Differ {
     check_sizes();
   }
 
+  /// Coalesced fan-out group: narrow 16 B entries on the ladder backend,
+  /// a per-delivery fallback loop on the heap — both must consume the
+  /// same seq range and pop the same (time, payload) sequence. The dest
+  /// arrays live in a deque so the pointers the ladder borrows stay
+  /// stable for the queue's whole lifetime.
+  void schedule_group(Time base, const std::vector<Duration>& delays,
+                      std::int32_t tag) {
+    EventPayload proto;
+    proto.a = tag;
+    proto.b = tag ^ 0x5a5a;
+    proto.d = static_cast<std::uint32_t>(delays.size());
+    dests_.emplace_back();
+    std::vector<std::int32_t>& rest = dests_.back();
+    for (std::size_t i = 1; i < delays.size(); ++i) {
+      rest.push_back(tag + static_cast<std::int32_t>(i));
+    }
+    heap_.schedule_fire_only_group(base, delays.data(), delays.size(),
+                                   EventKind::kPulse, 0, proto, tag,
+                                   rest.data());
+    ladder_.schedule_fire_only_group(base, delays.data(), delays.size(),
+                                     EventKind::kPulse, 0, proto, tag,
+                                     rest.data());
+    check_sizes();
+  }
+
   void cancel(std::size_t index) {
     const Pair pair = take(index);
     const bool a = heap_.cancel(pair.heap_id);
@@ -77,6 +104,9 @@ class Differ {
     EXPECT_EQ(a.at, b.at);
     EXPECT_EQ(a.kind, b.kind);
     EXPECT_EQ(a.payload.a, b.payload.a);
+    EXPECT_EQ(a.payload.b, b.payload.b);
+    EXPECT_EQ(a.payload.c, b.payload.c);  // narrow group decode vs fallback
+    EXPECT_EQ(a.payload.d, b.payload.d);
     EXPECT_EQ(a.payload.x, b.payload.x);
     // The popped event's ids become stale in both queues; drop the pair.
     for (std::size_t i = 0; i < live_.size(); ++i) {
@@ -112,6 +142,8 @@ class Differ {
   EventQueue heap_;
   EventQueue ladder_;
   std::vector<Pair> live_;
+  /// Group dest arrays; deque keeps the borrowed pointers stable.
+  std::deque<std::vector<std::int32_t>> dests_;
 };
 
 /// Draws a scheduling time around `now` from a mixture built to cross
@@ -135,11 +167,27 @@ TEST(QueueDifferential, RandomOpStreamPopsIdentically) {
   std::uint64_t popped = 0;
   for (int op = 0; op < 25000; ++op) {
     const double pick = rng.next_double();
-    if (pick < 0.30 || d.live_count() == 0) {
+    if (pick < 0.28 || d.live_count() == 0) {
       d.schedule(draw_time(rng, now), op);
-    } else if (pick < 0.45) {
+    } else if (pick < 0.40) {
       d.schedule_fire_only(draw_time(rng, now), op);
-    } else if (pick < 0.58) {
+    } else if (pick < 0.50) {
+      // Coalesced fan-out whose delays straddle the tier boundaries:
+      // near-future (wheel), dense (rung-bound buckets) and far spikes
+      // (narrow overflow bag + reseed distribution).
+      std::vector<Duration> delays(1 + rng.below(8));
+      for (Duration& delay : delays) {
+        const double shape = rng.next_double();
+        if (shape < 0.5) {
+          delay = rng.next_double();
+        } else if (shape < 0.8) {
+          delay = 1e-6 * rng.next_double();
+        } else {
+          delay = 1e5 * rng.next_double();
+        }
+      }
+      d.schedule_group(now, delays, op * 100);
+    } else if (pick < 0.60) {
       d.cancel(rng.below(d.live_count()));
     } else if (pick < 0.72) {
       d.reschedule(rng.below(d.live_count()),
@@ -155,11 +203,19 @@ TEST(QueueDifferential, RandomOpStreamPopsIdentically) {
       // split into a rung on drain.
       const Time cluster = now + 50.0 + rng.next_double();
       for (int i = 0; i < 100; ++i) {
-        if (i % 2 == 0) {
+        if (i % 3 == 0) {
           d.schedule(cluster + 1e-6 * rng.next_double(), op * 1000 + i);
-        } else {
+        } else if (i % 3 == 1) {
           d.schedule_fire_only(cluster + 1e-6 * rng.next_double(),
                                op * 1000 + i);
+        } else {
+          // Narrow entries must ride the same bucket splits: pile group
+          // members into the cluster so rung spawns see both lanes.
+          const std::vector<Duration> delays = {
+              (cluster - now) + 1e-6 * rng.next_double(),
+              (cluster - now) + 1e-6 * rng.next_double(),
+              (cluster - now) + 1e-6 * rng.next_double()};
+          d.schedule_group(now, delays, op * 1000 + i);
         }
       }
     } else if (pick < 0.98) {
@@ -171,11 +227,15 @@ TEST(QueueDifferential, RandomOpStreamPopsIdentically) {
   while (!d.empty()) now = d.pop(), ++popped;
   EXPECT_EQ(d.live_count(), 0u);
   EXPECT_GT(popped, 20000u);
-  // The stream must actually have exercised every ladder tier.
+  // The stream must actually have exercised every ladder tier — and both
+  // entry widths (narrow group deliveries AND wide slotted/fire-only).
   const auto& stats = d.ladder().tier_stats();
   EXPECT_GT(stats.reseeds, 1u);
   EXPECT_GT(stats.rung_spawns, 0u);
   EXPECT_GT(stats.overflow_peak, 0u);
+  EXPECT_GT(stats.group_inserts, 0u);
+  EXPECT_GT(stats.narrow_events, 0u);
+  EXPECT_GT(stats.wide_events, 0u);
 }
 
 TEST(QueueDifferential, MonotoneSimulationShapedStream) {

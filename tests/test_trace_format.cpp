@@ -195,6 +195,53 @@ TEST(TraceFormat, TorusMonitoredSliceIdenticalAcrossShardsViaPartitionedDrain) {
   EXPECT_GT(diff.records_compared, 0u);
 }
 
+// The bytes-per-event pin: broadcast fan-outs ride the ladder's 16 B
+// narrow lane via coalesced group inserts, and the captured trace must
+// stay byte-identical to the heap engine (which falls back to wide
+// per-delivery scheduling) at both shard counts. The narrow/group
+// counter assertions prove the NEW lane actually carried traffic —
+// without them this would silently re-pin the wide path.
+TEST(TraceFormat, TorusNarrowCoalescedLaneIdenticalAcrossEnginesAndShards) {
+  exp::register_builtin_scenarios();
+  ScenarioSpec spec = *exp::Registry::instance().find("large_torus");
+  spec.axes = {{"clusters", {AxisValue::of(64)}}};
+  apply_axis(spec, "clusters", 64.0);
+
+  const auto run_with = [&](int shards, sim::QueueBackend engine,
+                            bool expect_narrow, const std::string& path) {
+    ScenarioSpec s = spec;
+    s.shards = shards;
+    s.engine = engine;
+    s.trace_path = path;
+    const exp::RunResult result = run_point(s, 1);
+    EXPECT_TRUE(result.trace.enabled);
+    EXPECT_GT(result.trace.records, 0.0);
+    if (expect_narrow) {
+      EXPECT_GT(result.queue.narrow_events, 0.0) << "shards=" << shards;
+      EXPECT_GT(result.queue.group_inserts, 0.0) << "shards=" << shards;
+    } else {
+      // The heap fallback must not fabricate narrow entries.
+      EXPECT_EQ(result.queue.narrow_events, 0.0) << "shards=" << shards;
+    }
+    return read_file(path);
+  };
+
+  const std::string path_ladder = temp_path("narrow_l1.ftr");
+  const std::string path_heap = temp_path("narrow_h2.ftr");
+  const std::string base =
+      run_with(1, sim::QueueBackend::kLadder, true, path_ladder);
+  EXPECT_EQ(base, run_with(2, sim::QueueBackend::kLadder, true,
+                           temp_path("narrow_l2.ftr")));
+  EXPECT_EQ(base,
+            run_with(1, sim::QueueBackend::kHeap, false,
+                     temp_path("narrow_h1.ftr")));
+  EXPECT_EQ(base, run_with(2, sim::QueueBackend::kHeap, false, path_heap));
+
+  const trace::TraceDiff diff = trace::diff_traces(path_ladder, path_heap);
+  EXPECT_TRUE(diff.identical) << diff.reason;
+  EXPECT_GT(diff.records_compared, 0u);
+}
+
 TEST(TraceFormat, DiffLocalizesSingleBitCorruption) {
   const std::string path_a = temp_path("diff_a.ftr");
   const std::string path_b = temp_path("diff_b.ftr");
