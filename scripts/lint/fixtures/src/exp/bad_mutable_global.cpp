@@ -1,0 +1,46 @@
+// Seeded violations for the no-mutable-global rule (scope: all of src/),
+// plus the bad-waiver case: a reason-less waiver is itself a finding and
+// does NOT suppress the underlying violation.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+int g_run_counter = 0;                          // EXPECT-LINT: no-mutable-global
+
+namespace {
+double g_last_skew = 0.0;                       // EXPECT-LINT: no-mutable-global
+static std::uint64_t g_seed = 1;                // EXPECT-LINT: no-mutable-global
+}  // namespace
+
+thread_local int g_scratch_depth = 0;           // EXPECT-LINT: no-mutable-global
+
+// Constants and types at namespace scope are fine.
+constexpr int kMaxLevels = 16;
+const double kEpsilon = 1e-9;
+inline constexpr char kName[] = "fixture";
+struct Config {
+  int shards = 1;
+};
+using Row = std::vector<double>;
+
+// Function-local statics are function scope, not namespace scope: the rule
+// deliberately does not flag them (they still deserve scrutiny in review).
+int cached_value() {
+  static int cache = -1;
+  if (cache < 0) cache = kMaxLevels;
+  return cache;
+}
+
+// A reason-less waiver is invalid (bad-waiver fires on it, one line
+// below this annotation) and does NOT suppress the underlying finding.
+// EXPECT-LINT(+1): bad-waiver
+// ftgcs-lint: allow(no-mutable-global)
+long g_unjustified = 0;                         // EXPECT-LINT: no-mutable-global
+
+// A justified waiver suppresses (e.g. an atomic diagnostics counter).
+// ftgcs-lint: allow(no-mutable-global) fixture: proves waivers suppress
+int g_waived_counter = 0;
+
+}  // namespace fixture

@@ -1,0 +1,40 @@
+// Seeded violations for the no-unordered-iteration rule (scope:
+// src/metrics/ — output-feeding code). Keyed lookups into unordered
+// containers are fine; only iteration (order-dependent output) is banned.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+double sum_table(const std::unordered_map<int, double>& table) {
+  double total = 0.0;
+  for (const auto& entry : table) {             // EXPECT-LINT: no-unordered-iteration
+    total += entry.second;
+  }
+  return total;
+}
+
+std::vector<int> dump_ids(const std::unordered_set<int>& ids) {
+  std::vector<int> out;
+  out.assign(ids.begin(), ids.end());           // EXPECT-LINT: no-unordered-iteration
+  return out;
+}
+
+// Keyed lookup: allowed — no iteration order leaks into output.
+double lookup_ok(const std::unordered_map<int, double>& table, int key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}
+
+double waived_iteration(const std::unordered_map<int, double>& table) {
+  double total = 0.0;
+  // ftgcs-lint: allow(no-unordered-iteration) fixture: order-independent sum
+  for (const auto& entry : table) {
+    total += entry.second;
+  }
+  return total;
+}
+
+}  // namespace fixture

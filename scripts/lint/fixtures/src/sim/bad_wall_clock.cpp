@@ -1,0 +1,33 @@
+// Seeded violations for the no-wall-clock rule (scope: src/sim/).
+// Every line carrying an EXPECT-LINT annotation must be reported by the
+// engine; the waived seed at the bottom must NOT be.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+double ambient_entropy() {
+  std::random_device dev;                       // EXPECT-LINT: no-wall-clock
+  return static_cast<double>(dev()) + rand();   // EXPECT-LINT: no-wall-clock
+}
+
+double wall_now() {
+  auto t = std::chrono::steady_clock::now();    // EXPECT-LINT: no-wall-clock
+  auto u = std::chrono::system_clock::now();    // EXPECT-LINT: no-wall-clock
+  auto v =
+      std::chrono::high_resolution_clock::now();  // EXPECT-LINT: no-wall-clock
+  return t.time_since_epoch().count() + u.time_since_epoch().count() +
+         v.time_since_epoch().count();
+}
+
+// A string or comment mentioning steady_clock must not trip the rule.
+const char* kDocString = "steady_clock is banned here";
+
+double waived_wall_read() {
+  // ftgcs-lint: allow(no-wall-clock) fixture: proves waivers suppress
+  auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace fixture

@@ -121,6 +121,17 @@ class FtGcsSystem {
 
   void run_until(sim::Time t) { sim_.run_until(t); }
 
+  /// Pins the warmed-up capacity profile of every lazily-grown runtime
+  /// structure (queue bucket lanes, quorum windows) so that subsequent
+  /// steady-state run_until windows perform zero allocations — the
+  /// contract tests/test_alloc_guard.cpp asserts. Call after a few rounds
+  /// of representative traffic; opt-in (costs memory proportional to the
+  /// warmed high-water marks).
+  void prewarm() {
+    sim_.prewarm();
+    table_.prewarm();
+  }
+
   // ---- access ---------------------------------------------------------------
   sim::Simulator& simulator() { return sim_; }
   net::Network& network() { return *network_; }

@@ -27,6 +27,7 @@
 // simulator drain delivery runs without consulting the receivers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -140,6 +141,21 @@ class NodeTable final : public net::ClusterPulseTable {
            lane_offset_[static_cast<std::size_t>(node)];
   }
   int quorum_count(int node) const { return lane_count(node); }
+
+  /// Pins the warmed-up quorum-window capacities: the sliding dense span
+  /// (quorum_insert erases at the base and resizes at the tip) drifts by
+  /// a stride or two between rounds, so a window that has just slid can
+  /// regrow past its old high-water — and a window whose cluster pair
+  /// simply had not been heard yet during warmup pays its first-touch
+  /// allocation later. ×2 of the warmed capacity with a 16-stride floor
+  /// covers both, making steady-state inserts allocation-free
+  /// (tests/test_alloc_guard.cpp); Byzantine far-future levels still go
+  /// to the sparse overflow list and are exempt from the contract.
+  void prewarm() {
+    for (QuorumWindow& w : quorum_windows_) {
+      w.bits.reserve(std::max(2 * w.bits.capacity(), 16 * w.words));
+    }
+  }
 
   int num_nodes() const { return static_cast<int>(cluster_.size()); }
 

@@ -119,6 +119,13 @@ class ShardedFtGcsSystem {
   /// Advances every shard to exactly `t` through lock-step safe windows.
   void run_until(sim::Time t);
 
+  /// Pins every shard's warmed-up capacity profile (see
+  /// core::FtGcsSystem::prewarm). Call from the driver thread between
+  /// windows — it touches shard state, so no phase may be in flight.
+  void prewarm() {
+    for (auto& shard : shards_) shard->prewarm();
+  }
+
   sim::Time now() const { return now_; }
   int num_shards() const { return plan_.num_shards; }
   const ShardPlan& plan() const { return plan_; }

@@ -23,6 +23,38 @@ void EventQueue::reserve(std::size_t capacity) {
   }
 }
 
+void EventQueue::prewarm() {
+  if (backend_ == QueueBackend::kHeap) return;
+  // A lane's capacity IS its occupancy high-water (vectors never shrink
+  // here — drains clear() or resize() down), so the global floor needs no
+  // separate tracking: take the max over every bucket ever materialized.
+  std::size_t wide = 0;
+  std::size_t narrow = 0;
+  for (const Bucket& b : wheel_) {
+    wide = std::max(wide, b.items.capacity());
+    narrow = std::max(narrow, b.narrow.capacity());
+  }
+  for (const Bucket& b : rung_) {
+    wide = std::max(wide, b.items.capacity());
+    narrow = std::max(narrow, b.narrow.capacity());
+  }
+  // ×2 margin: window drift can pile a bucket somewhat higher than the
+  // highest pile observed during warmup.
+  wide *= 2;
+  narrow *= 2;
+  // reserve() moves lane storage but not the Bucket objects, so
+  // head_cache_ and positions_ stay valid; lane order is preserved, so
+  // the sorted flags stay honest.
+  for (Bucket& b : wheel_) {
+    b.items.reserve(wide);
+    b.narrow.reserve(narrow);
+  }
+  for (Bucket& b : rung_) {
+    b.items.reserve(wide);
+    b.narrow.reserve(narrow);
+  }
+}
+
 std::uint32_t EventQueue::acquire_slot() {
   if (!free_.empty()) {
     const std::uint32_t slot = free_.back();

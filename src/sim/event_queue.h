@@ -214,6 +214,20 @@ class EventQueue {
   /// allocate nothing.
   void reserve(std::size_t capacity);
 
+  /// Pins the warmed-up capacity profile: levels every calendar bucket
+  /// lane up to a margin over the highest single-lane occupancy reached
+  /// so far. Vectors already keep their own high-water capacity; what
+  /// still allocates in steady state is cross-bucket variance — each
+  /// reseed re-derives the window origin and width from the drifting
+  /// event population, so the same traffic keeps landing in different
+  /// buckets and cold lanes grow through their 1→2→4… ramps forever.
+  /// After prewarm, any bucket can absorb the largest pile any bucket has
+  /// ever seen (×2), so steady-state windows allocate nothing (the
+  /// contract tests/test_alloc_guard.cpp pins). Opt-in: the cost is
+  /// O(buckets × max-lane) memory, so production sweeps simply never
+  /// call it. No-op on kHeap (one flat vector — no variance to level).
+  void prewarm();
+
   /// Slots currently in the pool (diagnostics; high-water mark of
   /// concurrent cancellable events).
   std::size_t pool_size() const { return slots_.size(); }

@@ -135,6 +135,10 @@ class Simulator {
   /// Pre-sizes the event pool (see EventQueue::reserve).
   void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
 
+  /// Pins the queue's warmed-up capacity profile so steady-state windows
+  /// allocate nothing (see EventQueue::prewarm).
+  void prewarm() { queue_.prewarm(); }
+
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t fired_events() const { return fired_; }
   std::uint64_t scheduled_events() const { return queue_.scheduled_count(); }

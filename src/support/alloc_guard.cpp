@@ -1,0 +1,155 @@
+#include "support/alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#include <unistd.h>
+#endif
+
+namespace ftgcs::support {
+namespace {
+
+// ftgcs-lint: allow(no-mutable-global) the allocation meter itself: one
+// relaxed atomic bumped by the operator-new hook below, read by guards.
+std::atomic<std::uint64_t> g_allocations{0};
+
+// ftgcs-lint: allow(no-mutable-global) live-guard depth for the
+// FTGCS_ALLOC_TRACE debugging aid; relaxed atomic, diagnostics only.
+std::atomic<int> g_live_guards{0};
+
+bool trace_enabled() {
+  static const bool enabled = std::getenv("FTGCS_ALLOC_TRACE") != nullptr;
+  return enabled;
+}
+
+/// FTGCS_ALLOC_TRACE=1: print the offending stack straight to stderr.
+/// backtrace_symbols_fd writes without allocating (unlike
+/// backtrace_symbols), so tracing does not recurse into the hook.
+void maybe_trace_allocation() {
+#if defined(__GLIBC__)
+  if (g_live_guards.load(std::memory_order_relaxed) > 0 && trace_enabled()) {
+    void* frames[32];
+    const int depth = backtrace(frames, 32);
+    static const char header[] = "---- alloc under ScopedAllocGuard ----\n";
+    (void)!write(2, header, sizeof(header) - 1);
+    backtrace_symbols_fd(frames, depth, 2);
+  }
+#endif
+}
+
+}  // namespace
+
+// Not in the anonymous namespace: the operator-new definitions at global
+// scope below name these with full qualification.
+namespace detail {
+
+void* counted_alloc(std::size_t size) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  maybe_trace_allocation();
+  // malloc(0) may return nullptr legitimately; operator new must not.
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  maybe_trace_allocation();
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t padded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, padded != 0 ? padded : align);
+}
+
+}  // namespace detail
+
+std::uint64_t allocation_count() noexcept {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+ScopedAllocGuard::ScopedAllocGuard() noexcept : start_(allocation_count()) {
+  g_live_guards.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedAllocGuard::~ScopedAllocGuard() {
+  g_live_guards.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::uint64_t ScopedAllocGuard::allocations() const noexcept {
+  return allocation_count() - start_;
+}
+
+}  // namespace ftgcs::support
+
+// ---------------------------------------------------------------------------
+// The hook: the full replaceable global allocation-function set, forwarding
+// to malloc/free with a counter bump. Linked only into binaries that
+// reference ftgcs::support declarations above (static-archive pull-in).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* checked(void* p) {
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  return checked(ftgcs::support::detail::counted_alloc(size));
+}
+void* operator new[](std::size_t size) {
+  return checked(ftgcs::support::detail::counted_alloc(size));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ftgcs::support::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ftgcs::support::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return checked(ftgcs::support::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align)));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return checked(ftgcs::support::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align)));
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return ftgcs::support::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return ftgcs::support::detail::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}

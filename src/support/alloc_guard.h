@@ -1,0 +1,53 @@
+// Runtime twin of the ftgcs-lint no-hot-path-alloc rule: a process-wide
+// counting hook on global operator new, and a RAII guard that measures
+// the allocation delta across a scope.
+//
+// The hook lives in alloc_guard.cpp next to these declarations. Because
+// libftgcs is a static archive, that translation unit — and with it the
+// replacement operator new/new[]/delete set — is linked into a binary
+// only when the binary references something declared here. Production
+// binaries (ftgcs_bench, the experiment tools) never do, so they keep the
+// stock allocator; test binaries that assert the zero-allocation contract
+// (tests/test_alloc_guard.cpp) pull the hook in by constructing a guard.
+//
+// Counting is process-wide across ALL threads (one relaxed atomic
+// increment per allocation): the property under test is "a steady-state
+// run_until window allocates nowhere", and under the sharded backend the
+// interesting allocations would happen on worker threads, not on the
+// thread holding the guard.
+#pragma once
+
+#include <cstdint>
+
+namespace ftgcs::support {
+
+/// Global operator new/new[] calls in this process so far, all threads.
+/// Returns 0 forever in binaries that never linked the hook TU.
+std::uint64_t allocation_count() noexcept;
+
+/// Snapshot-on-construction allocation meter:
+///
+///     support::ScopedAllocGuard guard;
+///     system.run_until(t);                  // steady-state window
+///     EXPECT_EQ(guard.allocations(), 0u);   // the zero-alloc contract
+///
+/// Finding an offender: set FTGCS_ALLOC_TRACE=1 and every allocation made
+/// while a guard is live prints a raw backtrace to stderr (symbolized via
+/// backtrace_symbols_fd — works without a debugger; pipe through
+/// `c++filt` and addr2line for source lines).
+class ScopedAllocGuard {
+ public:
+  ScopedAllocGuard() noexcept;
+  ~ScopedAllocGuard();
+
+  ScopedAllocGuard(const ScopedAllocGuard&) = delete;
+  ScopedAllocGuard& operator=(const ScopedAllocGuard&) = delete;
+
+  /// Allocations (any thread) since this guard was constructed.
+  std::uint64_t allocations() const noexcept;
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace ftgcs::support

@@ -1,11 +1,15 @@
 #include "support/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace ftgcs::log {
 
 namespace {
-Level g_level = Level::kOff;
+// ftgcs-lint: allow(no-mutable-global) process-wide log level; accessed
+// only through relaxed atomics so concurrent shard workers and the driver
+// never race on it.
+std::atomic<Level> g_level{Level::kOff};
 
 const char* name_of(Level lvl) {
   switch (lvl) {
@@ -26,8 +30,10 @@ const char* name_of(Level lvl) {
 }
 }  // namespace
 
-Level level() noexcept { return g_level; }
-void set_level(Level lvl) noexcept { g_level = lvl; }
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+void set_level(Level lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
 void emit(Level lvl, const std::string& msg) {
   std::fprintf(stderr, "[ftgcs %-5s] %s\n", name_of(lvl), msg.c_str());

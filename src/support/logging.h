@@ -9,8 +9,11 @@ namespace ftgcs::log {
 
 enum class Level { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 
-/// Global log level. Not thread-safe by design: the simulator is
-/// single-threaded and logging is a debugging aid only.
+/// Global log level. Reads and writes are relaxed atomics: the sharded
+/// backend's worker threads may log while the driver flips the level, and
+/// an unsynchronized plain global would be a data race (TSan-visible even
+/// when every reader only ever sees kOff). Relaxed is enough — the level
+/// is a monotone debugging toggle, not a synchronization point.
 Level level() noexcept;
 void set_level(Level lvl) noexcept;
 

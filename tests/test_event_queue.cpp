@@ -18,8 +18,9 @@ class EventQueueTest : public ::testing::TestWithParam<QueueBackend> {
 INSTANTIATE_TEST_SUITE_P(Backends, EventQueueTest,
                          ::testing::Values(QueueBackend::kHeap,
                                            QueueBackend::kLadder),
-                         [](const auto& info) {
-                           return std::string(queue_backend_name(info.param));
+                         [](const auto& suite_info) {
+                           return std::string(
+                               queue_backend_name(suite_info.param));
                          });
 
 TEST_P(EventQueueTest, FiresInTimeOrder) {
