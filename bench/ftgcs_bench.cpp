@@ -29,6 +29,14 @@
 //                       trace (multi-task sweeps write PATH.taskN). The
 //                       bytes are identical at every --shards/--engine
 //                       choice; inspect with `ftgcs_trace`
+//   --metrics PATH      write the deterministic per-probe metrics series
+//                       (JSONL: skew max/p99/p50, envelope margins,
+//                       violations) to PATH — byte-identical at every
+//                       --shards/--engine choice — plus the PATH.profile
+//                       sidecar (wall-clock shard phases + engine/shard-
+//                       dependent queue diag; NOT deterministic).
+//                       Multi-task sweeps write PATH.taskN; inspect with
+//                       `ftgcs_report`
 //   --no-monitors       disable the online invariant monitors (they are on
 //                       by default; results go to the --timing footer)
 //   --quiet             table only, no banner
@@ -56,7 +64,8 @@ using namespace ftgcs;
                "<scenario>> [--threads N] [--sink table|csv|jsonl] "
                "[--seeds a,b,c] [--axis name=v1,v2]... [--worst] "
                "[--per-seed] [--timing] [--engine heap|ladder] "
-               "[--shards T] [--trace PATH] [--no-monitors] [--quiet]\n");
+               "[--shards T] [--trace PATH] [--metrics PATH] "
+               "[--no-monitors] [--quiet]\n");
   std::exit(code);
 }
 
@@ -201,6 +210,9 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
     } else if (arg == "--trace") {
       spec.trace_path = next();
       if (spec.trace_path.empty()) usage(2);
+    } else if (arg == "--metrics") {
+      spec.metrics_path = next();
+      if (spec.metrics_path.empty()) usage(2);
     } else if (arg == "--no-monitors") {
       spec.monitors = false;
     } else if (arg == "--quiet") {
@@ -313,6 +325,23 @@ int cmd_run(const std::vector<std::string>& args, bool allow_overrides) {
                     result.trace.bytes, spec.trace_path.c_str());
       } else {
         std::printf("trace=off\n");
+      }
+      if (result.series.files > 0.0) {
+        std::printf("metrics[on]: files=%.0f probes=%.0f bytes=%.0f (%s)\n",
+                    result.series.files, result.series.probes,
+                    result.series.bytes, spec.metrics_path.c_str());
+        // Phase-profiler summary (wall clock, nondeterministic — footer
+        // only). Shard phase totals exist only for sharded tasks; the
+        // imbalance ratio is the work-stealing baseline number.
+        const exp::SweepResult::ProfileTotals& prof = result.profile;
+        if (prof.shards > 0.0) {
+          std::printf("phases[%.0f shards]: merge_ms=%.1f run_ms=%.1f "
+                      "wait_ms=%.1f imbalance=%.3f\n",
+                      prof.shards, prof.merge_ms, prof.run_ms, prof.wait_ms,
+                      prof.max_imbalance);
+        }
+      } else {
+        std::printf("metrics=off\n");
       }
     }
   }

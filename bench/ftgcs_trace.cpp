@@ -13,10 +13,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "metrics/table.h"
 #include "trace/diff.h"
 #include "trace/format.h"
 #include "trace/reader.h"
@@ -74,15 +76,27 @@ int cmd_stats(const std::string& path) {
   trace::TraceReader reader(path);
   trace::Record record;
   std::uint64_t by_kind[5] = {0, 0, 0, 0, 0};
+  std::uint64_t bytes_by_kind[5] = {0, 0, 0, 0, 0};
   double first_at = 0.0;
   double last_at = 0.0;
   bool any = false;
+  // Per-record sizes come from offset deltas (records are variable-width:
+  // the encoder delta-compresses seq/time), so each record's size is the
+  // gap to the next record's start; the final record ends where the read
+  // cursor rests (the end marker, attributed to no kind).
+  int prev_kind = -1;
+  std::uint64_t prev_offset = 0;
   while (reader.next(record)) {
-    ++by_kind[record.kind < 4 ? record.kind : 4];
+    const int k = record.kind < 4 ? record.kind : 4;
+    ++by_kind[k];
+    if (prev_kind >= 0) bytes_by_kind[prev_kind] += record.offset - prev_offset;
+    prev_kind = k;
+    prev_offset = record.offset;
     if (!any) first_at = record.at;
     last_at = record.at;
     any = true;
   }
+  if (prev_kind >= 0) bytes_by_kind[prev_kind] += reader.offset() - prev_offset;
   const std::uint64_t total = reader.records_read();
   // At a clean end the read cursor sits on the trailer: file size = +8.
   const std::uint64_t bytes = reader.offset() + 8;
@@ -94,12 +108,34 @@ int cmd_stats(const std::string& path) {
   }
   std::printf("\n");
   if (any) std::printf("time span [%.6g, %.6g]\n", first_at, last_at);
+  std::uint64_t payload_bytes = 0;
+  for (const std::uint64_t b : bytes_by_kind) payload_bytes += b;
+  metrics::Table table(
+      {"kind", "records", "rec_share", "bytes", "byte_share", "b/rec"});
   for (int k = 0; k < 5; ++k) {
     if (by_kind[k] == 0) continue;
-    std::printf("  %-13s %" PRIu64 "\n",
-                k < 4 ? kind_name(static_cast<std::uint8_t>(k)) : "unknown",
-                by_kind[k]);
+    table.add_row(
+        {k < 4 ? kind_name(static_cast<std::uint8_t>(k)) : "unknown",
+         metrics::Table::integer(static_cast<long long>(by_kind[k])),
+         metrics::Table::num(total > 0 ? 100.0 *
+                                             static_cast<double>(by_kind[k]) /
+                                             static_cast<double>(total)
+                                       : 0.0,
+                             4),
+         metrics::Table::integer(static_cast<long long>(bytes_by_kind[k])),
+         metrics::Table::num(
+             payload_bytes > 0
+                 ? 100.0 * static_cast<double>(bytes_by_kind[k]) /
+                       static_cast<double>(payload_bytes)
+                 : 0.0,
+             4),
+         metrics::Table::num(
+             by_kind[k] > 0 ? static_cast<double>(bytes_by_kind[k]) /
+                                  static_cast<double>(by_kind[k])
+                            : 0.0,
+             4)});
   }
+  if (table.rows() > 0) table.print(std::cout);
   return 0;
 }
 

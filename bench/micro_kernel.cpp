@@ -10,6 +10,7 @@
 // genuinely Release-built dependency; see CMakeLists.txt).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -24,7 +25,10 @@
 #include "net/network.h"
 #include "par/sharded_system.h"
 #include "exp/topology_graph.h"
+#include "metrics/skew_tracker.h"
 #include "net/channel.h"
+#include "obs/histogram.h"
+#include "obs/sampler.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -773,6 +777,76 @@ void BM_MonitorStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * columns.num_nodes());
 }
 BENCHMARK(BM_MonitorStep)->Arg(8)->Arg(16);
+
+// Histogram fill kernel: LogLinearHistogram::record over a precomputed
+// skew-shaped value stream (binary search over the fixed boundary table
+// + two scalar updates). This is the inner loop of every probe's edge
+// sweep; items are records/second.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::LogLinearHistogram hist(obs::ProbeSampler::scaled_spec(1.0));
+  // Values spanning the linear section, the geometric tail, and the
+  // overflow bucket, in a fixed pseudo-random order.
+  std::vector<double> values(4096);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (double& v : values) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    v = static_cast<double>(x % 100000) * 1e-3;  // [0, 100)
+  }
+  for (auto _ : state) {
+    for (const double v : values) hist.record(v);
+    benchmark::DoNotOptimize(hist.percentile(0.99));
+    hist.clear();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+// Full probe-boundary sampling kernel: ProbeSampler::sample over a real
+// torus system's columnar snapshot — histogram refill (O(V+E) sweep),
+// gauge/counter updates, row serialization, and the fwrite — i.e. the
+// per-probe cost `--metrics` adds to a run. The sink is /dev/null so
+// the kernel measures the sampler, not the disk. Items are nodes/second
+// (compare against BM_MonitorStep, the other per-probe O(V+E) pass).
+void BM_MetricsSample(benchmark::State& state) {
+  const core::Params params = core::Params::practical(1e-3, 1.0, 0.01, 1);
+  const int side = static_cast<int>(state.range(0));
+  core::FtGcsSystem::Config config;
+  config.params = params;
+  config.seed = 29;
+  core::FtGcsSystem system(net::Graph::torus(side, side), std::move(config));
+  system.start();
+  system.run_until(2.0 * params.T);
+  core::SystemColumns columns;
+  system.snapshot_columns(columns);
+  const net::UniformDelay delays(params.d, params.U);
+  const metrics::SkewSample skews =
+      metrics::measure_skews(columns, system.topology());
+
+  obs::ProbeSampler::Config sampler_config;
+  sampler_config.path = "/dev/null";
+  sampler_config.monitors = false;
+  sampler_config.hist_scale = 1.0;
+  obs::ProbeSampler sampler(
+      sampler_config, exp::build_topology_graph(system.topology(), delays));
+  sampler.prewarm();
+
+  obs::SampleContext ctx;
+  ctx.skews = &skews;
+  ctx.columns = &columns;
+  double t = columns.at;
+  for (auto _ : state) {
+    t += 1.0;
+    ctx.at = t;
+    ctx.events += 17;
+    ctx.messages += 11;
+    sampler.sample(ctx);
+  }
+  state.SetItemsProcessed(state.iterations() * columns.num_nodes());
+}
+BENCHMARK(BM_MetricsSample)->Arg(8)->Arg(16);
 
 // ---- main: refuse debug-library JSON ---------------------------------------
 

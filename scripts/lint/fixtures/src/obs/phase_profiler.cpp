@@ -1,0 +1,18 @@
+// The sanctioned clock site: this path (obs/phase_profiler.cpp) is the
+// wall-clock plane's one exempted file, so the steady_clock reads below
+// carry NO annotations — the self-test fails on unexpected findings,
+// which is what proves the carve-out is exactly this wide and no wider
+// (the sibling sampler.cpp fixture shows the rest of obs/ stays banned).
+#include <chrono>
+#include <cstdint>
+
+namespace fixture {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fixture

@@ -1,0 +1,28 @@
+// Seeded violations for the no-wall-clock rule in src/obs/: a wall-clock
+// read feeding the DETERMINISTIC metrics series is exactly the plane
+// violation the obs/ scope exists to catch (a timestamp in the series
+// would differ run-to-run and break the engine/shard byte-identity CI
+// compare). Named `sampler.cpp` to mirror the real deterministic-plane
+// file — only obs/phase_profiler.cpp is carved out, so this MUST be
+// flagged. The unordered-iteration seed checks obs/ is also in the
+// output-feeding scope.
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double sample_row_timestamp() {
+  auto t = std::chrono::steady_clock::now();    // EXPECT-LINT: no-wall-clock
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+double sum_fields(const std::unordered_map<std::string, double>& fields) {
+  double sum = 0.0;
+  for (const auto& kv : fields) {  // EXPECT-LINT: no-unordered-iteration
+    sum += kv.second;
+  }
+  return sum;
+}
+
+}  // namespace fixture

@@ -11,6 +11,8 @@
 #include "metrics/skew_tracker.h"
 #include "net/augmented.h"
 #include "net/channel.h"
+#include "obs/phase_profiler.h"
+#include "obs/sampler.h"
 #include "par/partition.h"
 #include "par/sharded_system.h"
 #include "support/assert.h"
@@ -146,6 +148,21 @@ RunResult::QueueTiers system_queue(core::FtGcsSystem& s) {
 RunResult::QueueTiers system_queue(const par::ShardedFtGcsSystem& s) {
   return queue_tiers(s.queue_stats());
 }
+sim::EventQueue::TierStats system_tier_stats(core::FtGcsSystem& s) {
+  return s.simulator().queue_stats();
+}
+sim::EventQueue::TierStats system_tier_stats(
+    const par::ShardedFtGcsSystem& s) {
+  return s.queue_stats();
+}
+void system_window_diag(core::FtGcsSystem&,
+                        std::vector<obs::ShardWindowDiag>& out) {
+  out.clear();
+}
+void system_window_diag(const par::ShardedFtGcsSystem& s,
+                        std::vector<obs::ShardWindowDiag>& out) {
+  s.shard_window_diag(out);
+}
 RunResult::ShardDiag system_shard_diag(core::FtGcsSystem&) {
   return {};
 }
@@ -178,7 +195,8 @@ std::vector<double> sample_times(double horizon_rounds, double interval_rounds,
 template <class System>
 RunResult measure_ftgcs(System& system, const ResolvedRun& run,
                         const net::AugmentedTopology& topo,
-                        trace::TraceCollector* collector) {
+                        trace::TraceCollector* collector,
+                        obs::PhaseProfiler* profiler) {
   const core::Params& params = run.params;
   const int clusters = topo.num_clusters();
   const int diameter = run.graph.diameter();
@@ -211,12 +229,37 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
         build_topology_graph(topo, delays), bounds);
   }
 
+  // Deterministic metrics series: registered against the SAME bounds the
+  // monitor checks, so the margin gauges and the footer print one truth.
+  // The histogram scale is params-derived (envelope height, falling back
+  // to the intra-cluster bound), hence identical across backends.
+  std::unique_ptr<obs::ProbeSampler> sampler;
+  if (!run.metrics_path.empty()) {
+    obs::ProbeSampler::Config sampler_config;
+    sampler_config.path = run.metrics_path;
+    sampler_config.monitors = monitor != nullptr;
+    if (monitor != nullptr) sampler_config.bounds = monitor->bounds();
+    sampler_config.measure_m_lag = run.measure_m_lag;
+    const double scale = std::max(intra_bound, std::max(s_init, band));
+    sampler_config.hist_scale = scale > 0.0 ? scale : 1.0;
+    const net::UniformDelay delays(params.d, params.U);
+    sampler = std::make_unique<obs::ProbeSampler>(
+        std::move(sampler_config), build_topology_graph(topo, delays));
+    sampler->prewarm();
+  }
+
   SampleMaxima agg;
   const double steady_after = run.steady_after_rounds * params.T;
   core::SystemColumns columns;  // reused across probes (columnar reads)
+  std::vector<obs::ShardWindowDiag> diag_scratch;
   for (double t : sample_times(run.horizon_rounds, run.probe_interval_rounds,
                                params.T)) {
+    if (profiler != nullptr) profiler->span_begin("run");
     system.run_until(t);
+    if (profiler != nullptr) {
+      profiler->span_end("run");
+      profiler->span_begin("collect");
+    }
     // Probe boundaries are the quiesced commit points of the trace: every
     // shard has advanced to exactly t and its worker is parked, so the
     // per-shard capture buffers are safe to merge.
@@ -259,6 +302,24 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
           collector != nullptr ? collector->cursor_offset() : 0;
       monitor->observe(columns, cursor);
       if (run.measure_m_lag) monitor->observe_m_lag(probe_m_lag, cursor);
+    }
+    if (sampler != nullptr) {
+      obs::SampleContext ctx;
+      ctx.at = t;
+      ctx.events = system_events(system);
+      ctx.messages = system_messages(system);
+      ctx.skews = &skews;
+      ctx.columns = &columns;
+      ctx.monitor = monitor.get();
+      ctx.m_lag = probe_m_lag;
+      sampler->sample(ctx);
+    }
+    if (profiler != nullptr) {
+      // The diag rows live in the sidecar, never the series: tier mix is
+      // engine-dependent and the per-shard split is shard-dependent.
+      system_window_diag(system, diag_scratch);
+      profiler->probe_diag(t, system_tier_stats(system), diag_scratch);
+      profiler->span_end("collect");
     }
   }
 
@@ -343,6 +404,13 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
     result.monitor.bounds = monitor->bounds();
     result.monitor.stats = monitor->stats();
   }
+  if (sampler != nullptr) {
+    sampler->finish();
+    result.series.enabled = true;
+    result.series.path = run.metrics_path;
+    result.series.probes = static_cast<double>(sampler->probes());
+    result.series.bytes = static_cast<double>(sampler->bytes());
+  }
   return result;
 }
 
@@ -351,8 +419,9 @@ RunResult measure_ftgcs(System& system, const ResolvedRun& run,
 template <class System>
 RunResult measure_and_seal(System& system, const ResolvedRun& run,
                            const net::AugmentedTopology& topo,
-                           trace::TraceCollector* collector) {
-  RunResult result = measure_ftgcs(system, run, topo, collector);
+                           trace::TraceCollector* collector,
+                           obs::PhaseProfiler* profiler = nullptr) {
+  RunResult result = measure_ftgcs(system, run, topo, collector, profiler);
   if (collector != nullptr) {
     collector->finish();
     result.trace.enabled = true;
@@ -360,11 +429,36 @@ RunResult measure_and_seal(System& system, const ResolvedRun& run,
     result.trace.records = static_cast<double>(collector->records());
     result.trace.bytes = static_cast<double>(collector->bytes_written());
   }
+  if (profiler != nullptr) {
+    // Stamp the footer summary from the accumulators, then let finish()
+    // write the sidecar rows and close the file. The workers are parked
+    // at the start barrier here (run_until returned), so the slot reads
+    // are barrier-ordered.
+    const obs::PhaseProfiler::PhaseTotals totals = profiler->totals();
+    result.profile.enabled = true;
+    result.profile.shards = static_cast<double>(profiler->shards());
+    result.profile.merge_ms = totals.merge_ms;
+    result.profile.run_ms = totals.run_ms;
+    result.profile.wait_ms = totals.collect_ms;
+    result.profile.imbalance = profiler->imbalance();
+    profiler->finish();
+  }
   return result;
 }
 
 RunResult run_ftgcs(const ResolvedRun& run) {
   const core::Params& params = run.params;
+
+  // Created before either backend (like the trace collector below) so it
+  // outlives the system: parked workers touch their phase slots until
+  // the system's destructor joins them.
+  std::unique_ptr<obs::PhaseProfiler> profiler;
+  if (!run.metrics_path.empty()) {
+    profiler =
+        std::make_unique<obs::PhaseProfiler>(run.metrics_path + ".profile");
+    profiler->span_begin("setup");
+  }
+
   net::AugmentedTopology topo(run.graph, params.k);
   const int clusters = topo.num_clusters();
 
@@ -409,9 +503,12 @@ RunResult run_ftgcs(const ResolvedRun& run) {
         };
       }
       config.trace = collector.get();
+      config.profiler = profiler.get();
       par::ShardedFtGcsSystem system(run.graph, std::move(config));
       system.start();
-      return measure_and_seal(system, run, topo, collector.get());
+      if (profiler != nullptr) profiler->span_end("setup");
+      return measure_and_seal(system, run, topo, collector.get(),
+                              profiler.get());
     }
   }
 
@@ -429,7 +526,9 @@ RunResult run_ftgcs(const ResolvedRun& run) {
 
   core::FtGcsSystem system(run.graph, std::move(config));
   system.start();
-  return measure_and_seal(system, run, topo, collector.get());
+  if (profiler != nullptr) profiler->span_end("setup");
+  return measure_and_seal(system, run, topo, collector.get(),
+                          profiler.get());
 }
 
 RunResult run_gcs_baseline(const ResolvedRun& run) {
@@ -527,6 +626,7 @@ ResolvedRun resolve(const ScenarioSpec& spec, std::uint64_t seed) {
   run.measure_m_lag = spec.measure_m_lag;
   run.replicas_know_offsets = spec.replicas_know_offsets;
   run.trace_path = spec.trace_path;
+  run.metrics_path = spec.metrics_path;
   run.monitors = spec.monitors;
 
   const int diameter = run.graph.diameter();

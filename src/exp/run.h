@@ -45,6 +45,9 @@ struct ResolvedRun {
   /// Streaming trace capture: path of the .ftr file to write (empty =
   /// tracing off). FT-GCS runs only; the GCS baseline ignores it.
   std::string trace_path;
+  /// Deterministic metrics series: JSONL path (empty = off) + the
+  /// PATH.profile wall-clock sidecar. FT-GCS runs only.
+  std::string metrics_path;
   /// Online invariant monitors (default ON; probe-tier cost only).
   bool monitors = true;
 };
@@ -111,6 +114,31 @@ struct RunResult {
     double bytes = 0.0;
   };
   TraceInfo trace;
+
+  /// Deterministic metrics-series summary (all zero when --metrics was
+  /// off). `probes`/`bytes` are themselves deterministic: the series is
+  /// byte-identical across engines and shard counts.
+  struct SeriesInfo {
+    bool enabled = false;
+    std::string path;
+    double probes = 0.0;
+    double bytes = 0.0;
+  };
+  SeriesInfo series;
+
+  /// Wall-clock phase-profiler summary (PATH.profile sidecar). Timing is
+  /// machine-dependent — footer material only, never a metric. Phase
+  /// totals stay zero for unsharded runs (spans still cover setup/run/
+  /// collect).
+  struct ProfileInfo {
+    bool enabled = false;
+    double shards = 0.0;
+    double merge_ms = 0.0;
+    double run_ms = 0.0;
+    double wait_ms = 0.0;
+    double imbalance = 0.0;  ///< max/mean per-shard run-phase time
+  };
+  ProfileInfo profile;
 
   bool has_metric(const std::string& name) const;
   double metric(const std::string& name) const;  ///< aborts if missing

@@ -197,6 +197,13 @@ void apply_axis(ScenarioSpec& spec, const std::string& name, double value) {
     spec.faults.probability = value;
   } else if (name == "shards") {
     spec.shards = as_int();
+  } else if (name == "fault_mode") {
+    spec.faults.mode = static_cast<FaultMode>(as_int());
+    // A scenario registered without faults carries no strategy strength;
+    // the per-strategy default keeps the attack meaningful.
+    if (spec.faults.param_abs == 0.0 && spec.faults.param_times_E == 0.0) {
+      spec.faults.default_param_for_strategy = true;
+    }
   } else {
     throw std::invalid_argument("unknown sweep axis '" + name + "'");
   }

@@ -225,6 +225,13 @@ struct ScenarioSpec {
   /// sweeps suffix ".taskN" per task so files never interleave. The bytes
   /// are identical for every `--shards T` and both `--engine` backends.
   std::string trace_path;
+  /// Deterministic metrics series: write one JSONL row per probe to this
+  /// file (`ftgcs_bench --metrics PATH`; empty = off), plus the
+  /// nondeterministic PATH.profile sidecar (wall-clock phases + queue/
+  /// shard diag). Multi-task sweeps suffix ".taskN" like trace_path. The
+  /// series bytes are identical for every `--shards T` and both
+  /// `--engine` backends; the sidecar is not.
+  std::string metrics_path;
   /// Online invariant monitors (`--no-monitors` to disable). Probe-tier
   /// cost; reported in the --timing footer, never in the tables.
   bool monitors = true;
@@ -240,7 +247,12 @@ struct ScenarioSpec {
 /// Writes one axis assignment into the spec. Supported axis names:
 ///   diameter, clusters, gap_rounds, gap_kappa, f, cluster_size,
 ///   faults_per_cluster, strategy, attacked, rho, d, U, mu, phi,
-///   horizon_rounds, flip_rounds, probability, shards
+///   horizon_rounds, flip_rounds, probability, shards, fault_mode
+/// (fault_mode = the FaultMode enum ordinal: 0 none, 1 uniform,
+/// 2 in-cluster, 3 iid — the knob that turns a fault-free throughput
+/// scenario like large_torus into a fault-heavy one from the CLI;
+/// strategy strength falls back to the per-strategy default when no
+/// explicit param was registered)
 /// Throws std::invalid_argument for anything else.
 void apply_axis(ScenarioSpec& spec, const std::string& name, double value);
 

@@ -54,6 +54,11 @@ RunResult execute(const ScenarioSpec& base, const Task& task,
   if (!spec.trace_path.empty() && num_tasks > 1) {
     spec.trace_path += ".task" + std::to_string(task_index);
   }
+  // Same per-task isolation for the metrics series (and its .profile
+  // sidecar, which run_ftgcs derives from this path).
+  if (!spec.metrics_path.empty() && num_tasks > 1) {
+    spec.metrics_path += ".task" + std::to_string(task_index);
+  }
   std::vector<std::pair<std::string, std::string>> point;
   point.reserve(base.axes.size());
   for (std::size_t a = 0; a < base.axes.size(); ++a) {
@@ -212,6 +217,22 @@ SweepResult SweepRunner::run(const ScenarioSpec& spec) const {
       sweep.trace.files += 1.0;
       sweep.trace.records += trace.records;
       sweep.trace.bytes += trace.bytes;
+    }
+    const RunResult::SeriesInfo& series = results[i].series;
+    if (series.enabled) {
+      sweep.series.files += 1.0;
+      sweep.series.probes += series.probes;
+      sweep.series.bytes += series.bytes;
+    }
+    const RunResult::ProfileInfo& profile = results[i].profile;
+    if (profile.enabled) {
+      auto& agg = sweep.profile;
+      agg.rows += 1.0;
+      agg.shards = std::max(agg.shards, profile.shards);
+      agg.merge_ms += profile.merge_ms;
+      agg.run_ms += profile.run_ms;
+      agg.wait_ms += profile.wait_ms;
+      agg.max_imbalance = std::max(agg.max_imbalance, profile.imbalance);
     }
   }
 

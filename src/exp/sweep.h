@@ -109,6 +109,28 @@ struct SweepResult {
     double bytes = 0.0;
   };
   TraceTotals trace;
+
+  /// Deterministic metrics-series totals over tasks (all zero when
+  /// `--metrics` was off). Deterministic themselves: probe/byte counts
+  /// are identical across engines and shard counts.
+  struct SeriesTotals {
+    double files = 0.0;
+    double probes = 0.0;
+    double bytes = 0.0;
+  };
+  SeriesTotals series;
+
+  /// Phase-profiler totals over tasks (wall clock — footer material).
+  /// `shards`/`max_imbalance` are maxima, the phase times are sums.
+  struct ProfileTotals {
+    double rows = 0.0;    ///< tasks that ran with the profiler on
+    double shards = 0.0;  ///< max bound shard count (0 = all unsharded)
+    double merge_ms = 0.0;
+    double run_ms = 0.0;
+    double wait_ms = 0.0;
+    double max_imbalance = 0.0;
+  };
+  ProfileTotals profile;
 };
 
 struct SweepOptions {

@@ -1,0 +1,118 @@
+// Fixed-bucket log-linear histogram for the deterministic metrics plane.
+//
+// Bucket boundaries are computed ONCE at construction from a plain-data
+// Spec — linear buckets of width `linear_width` up to `linear_max`, then
+// geometric buckets growing by `growth` up to `max`, then one overflow
+// bucket — so the mapping from value to bucket is a pure function of the
+// spec, independent of insertion order, engine, shard count, or platform
+// (the boundary array is derived by the same IEEE-754 operations
+// everywhere). Percentiles are read as bucket upper bounds (clipped to
+// the exact running maximum), which keeps them deterministic too: a
+// percentile is a property of the bucket counts, never of a sort.
+//
+// record() is allocation-free and branch-light (binary search over the
+// precomputed boundaries); clear() resets the counts without touching
+// capacity, so a histogram registered at setup samples forever without
+// allocating — the ScopedAllocGuard pin in tests/test_obs_metrics.cpp
+// holds the subsystem to that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace ftgcs::obs {
+
+class LogLinearHistogram {
+ public:
+  struct Spec {
+    double linear_width = 1e-4;  ///< bucket width of the linear section
+    double linear_max = 1e-2;    ///< last linear boundary (exclusive)
+    double growth = 1.5;         ///< geometric factor past linear_max
+    double max = 1e3;            ///< first boundary >= max ends the table
+  };
+
+  explicit LogLinearHistogram(const Spec& spec) : spec_(spec) {
+    FTGCS_EXPECTS(spec.linear_width > 0.0);
+    FTGCS_EXPECTS(spec.linear_max > spec.linear_width);
+    FTGCS_EXPECTS(spec.growth > 1.0);
+    FTGCS_EXPECTS(spec.max > spec.linear_max);
+    // boundaries_[i] is the EXCLUSIVE upper bound of bucket i; the last
+    // real bucket is followed by one overflow bucket for values >= the
+    // final boundary.
+    for (double b = spec.linear_width; b < spec.linear_max;
+         b += spec.linear_width) {
+      boundaries_.push_back(b);
+    }
+    double b = spec.linear_max;
+    while (b < spec.max) {
+      boundaries_.push_back(b);
+      b *= spec.growth;
+    }
+    boundaries_.push_back(b);  // first boundary >= max
+    counts_.assign(boundaries_.size() + 1, 0);
+  }
+
+  /// Bucket index of `value`: the first bucket whose upper bound exceeds
+  /// it (values below zero clamp into bucket 0, values at or past the
+  /// last boundary land in the overflow bucket).
+  std::size_t bucket_index(double value) const {
+    const auto it =
+        std::upper_bound(boundaries_.begin(), boundaries_.end(), value);
+    return static_cast<std::size_t>(it - boundaries_.begin());
+  }
+
+  void record(double value) {
+    ++counts_[bucket_index(value)];
+    ++count_;
+    if (value > max_seen_) max_seen_ = value;
+  }
+
+  /// Resets counts and the running max; capacity (and the boundary table)
+  /// stay untouched, so a cleared histogram records without allocating.
+  void clear() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    max_seen_ = 0.0;
+  }
+
+  /// Upper-bound estimate of the p-quantile (0 < p <= 1): the upper
+  /// boundary of the bucket holding the ceil(p * count)-th smallest
+  /// sample, clipped to the exact running maximum (so percentile(1.0)
+  /// is exact and an overflow bucket reads as the max, not infinity).
+  /// Returns 0 for an empty histogram.
+  double percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               p * static_cast<double>(count_) + 0.999999999999));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        const double upper = i < boundaries_.size()
+                                 ? boundaries_[i]
+                                 : max_seen_;  // overflow bucket
+        return std::min(upper, max_seen_);
+      }
+    }
+    return max_seen_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  double max_seen() const { return max_seen_; }
+  std::size_t num_buckets() const { return counts_.size(); }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+  const Spec& spec() const { return spec_; }
+
+ private:
+  Spec spec_;
+  std::vector<double> boundaries_;   ///< exclusive upper bounds, ascending
+  std::vector<std::uint64_t> counts_;  ///< boundaries_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace ftgcs::obs

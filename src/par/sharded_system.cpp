@@ -8,6 +8,7 @@
 
 #include "exp/topology_graph.h"
 #include "net/channel.h"
+#include "obs/phase_profiler.h"
 #include "support/assert.h"
 #include "trace/collector.h"
 
@@ -150,6 +151,9 @@ ShardedFtGcsSystem::ShardedFtGcsSystem(net::Graph cluster_graph,
 
   merge_scratch_.resize(static_cast<std::size_t>(t));
   mailbox_peak_.assign(static_cast<std::size_t>(t), 0);
+  routed_in_.assign(static_cast<std::size_t>(t), 0);
+  profiler_ = config.profiler;
+  if (profiler_ != nullptr) profiler_->bind_shards(t);
   phases_ = std::make_unique<Phases>(t + 1);
   workers_.reserve(static_cast<std::size_t>(t));
   for (int s = 0; s < t; ++s) {
@@ -172,9 +176,26 @@ void ShardedFtGcsSystem::worker_loop(int shard) {
   const sim::SinkId net_sink = system.network().sink_id();
   std::vector<RemoteEvent>& scratch =
       merge_scratch_[static_cast<std::size_t>(shard)];
+  // Profiler timing discipline: every slot WRITE a phase hook makes sits
+  // between the start barrier and the finish barrier of the same window,
+  // so the driver's post-finish reads (totals / finish / diag) are
+  // ordered by the barriers — no extra synchronization. The kCollect
+  // "phase" is the wait AT the start barrier: the time this shard spent
+  // idle while slower shards and the driver's collect work held the next
+  // window back, i.e. exactly the imbalance signal. (Its phase_end
+  // writes total_ns[kCollect] right after the start barrier, still
+  // before this window's finish barrier — same discipline.)
+  obs::PhaseProfiler* const prof = profiler_;
   for (;;) {
+    if (prof != nullptr) {
+      prof->phase_begin(shard, obs::PhaseProfiler::Phase::kCollect);
+    }
     phases_->start.arrive_and_wait();
     if (stop_) return;
+    if (prof != nullptr) {
+      prof->phase_end(shard, obs::PhaseProfiler::Phase::kCollect);
+      prof->phase_begin(shard, obs::PhaseProfiler::Phase::kMerge);
+    }
     // Seed the queue from the merged mailboxes first: every entry is a
     // cross-shard arrival from an earlier window, at a time ≥ the current
     // barrier — i.e. still in this shard's future.
@@ -182,13 +203,24 @@ void ShardedFtGcsSystem::worker_loop(int shard) {
     if (merged > 0) {
       mailbox_peak_[static_cast<std::size_t>(shard)] = std::max(
           mailbox_peak_[static_cast<std::size_t>(shard)], merged);
+      routed_in_[static_cast<std::size_t>(shard)] += merged;
       for (const RemoteEvent& event : scratch) {
         system.simulator().post_fire_only_at(
             event.at, sim::EventKind::kPulse, net_sink, event.payload);
       }
     }
+    if (prof != nullptr) {
+      prof->phase_end(shard, obs::PhaseProfiler::Phase::kMerge);
+    }
     phases_->merged.arrive_and_wait();  // no sends before every drain is done
+    if (prof != nullptr) {
+      prof->phase_begin(shard, obs::PhaseProfiler::Phase::kRun);
+    }
     system.run_until(bound_);
+    if (prof != nullptr) {
+      prof->phase_end(shard, obs::PhaseProfiler::Phase::kRun);
+      prof->count_window(shard);
+    }
     phases_->finish.arrive_and_wait();
   }
 }
@@ -202,6 +234,7 @@ void ShardedFtGcsSystem::phase(sim::Time bound) {
 
 void ShardedFtGcsSystem::run_until(sim::Time t) {
   FTGCS_EXPECTS(t >= now_);
+  if (profiler_ != nullptr) profiler_->span_begin("windows");
   // cut_edges == 0 means the stripes are mutually unreachable: no
   // conservative constraint, one window spans the whole target.
   const double width =
@@ -224,6 +257,7 @@ void ShardedFtGcsSystem::run_until(sim::Time t) {
     now_ = w_end;
     ++windows_;
   }
+  if (profiler_ != nullptr) profiler_->span_end("windows");
 }
 
 void ShardedFtGcsSystem::snapshot_columns(core::SystemColumns& out) const {
@@ -281,6 +315,16 @@ sim::EventQueue::TierStats ShardedFtGcsSystem::queue_stats() const {
     stats.group_inserts += tier.group_inserts;
   }
   return stats;
+}
+
+void ShardedFtGcsSystem::shard_window_diag(
+    std::vector<obs::ShardWindowDiag>& out) const {
+  out.resize(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s].routed = routed_in_[s];
+    out[s].mailbox_peak = mailbox_peak_[s];
+    out[s].fired = shards_[s]->simulator().fired_events();
+  }
 }
 
 ShardedFtGcsSystem::ShardStats ShardedFtGcsSystem::shard_stats() const {

@@ -55,6 +55,11 @@ namespace ftgcs::trace {
 class TraceCollector;
 }
 
+namespace ftgcs::obs {
+class PhaseProfiler;
+struct ShardWindowDiag;
+}  // namespace ftgcs::obs
+
 namespace ftgcs::par {
 
 class ShardedFtGcsSystem {
@@ -95,6 +100,14 @@ class ShardedFtGcsSystem {
     /// system. When unset the driver builds one copy and shares it with
     /// every shard (still one build total, not T).
     const net::AugmentedTopology* shared_topo = nullptr;
+    /// Wall-clock phase profiler (the same null-branch pattern as
+    /// `trace`): when set, each worker accumulates merge / run /
+    /// barrier-wait time into its own shard slot and the driver stamps a
+    /// "windows" span around the lock-step loop. Owned by the caller,
+    /// must outlive the system; profiler-off cost is one branch per
+    /// phase. All clock reads happen inside obs/phase_profiler.cpp —
+    /// this file stays clock-free for the determinism lint.
+    obs::PhaseProfiler* profiler = nullptr;
   };
 
   /// Deterministic, engine-independent diagnostics of one sharded run
@@ -151,6 +164,11 @@ class ShardedFtGcsSystem {
   sim::EventQueue::TierStats queue_stats() const;
   ShardStats shard_stats() const;
 
+  /// Per-shard diagnostics for the profiler's "diag" rows (cut-edge
+  /// arrivals merged, deepest single-barrier merge, events fired). Call
+  /// from the driver at a quiesced boundary (workers parked).
+  void shard_window_diag(std::vector<obs::ShardWindowDiag>& out) const;
+
  private:
   class Router;
 
@@ -189,6 +207,8 @@ class ShardedFtGcsSystem {
   bool stop_ = false;                  ///< driver → workers: shut down
   std::vector<std::vector<RemoteEvent>> merge_scratch_;  // per shard
   std::vector<std::size_t> mailbox_peak_;                // per shard
+  std::vector<std::uint64_t> routed_in_;  ///< cut arrivals merged, per shard
+  obs::PhaseProfiler* profiler_ = nullptr;
 
   sim::Time now_ = sim::kTimeZero;
   std::uint64_t windows_ = 0;
